@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 10 (total execution time vs memory latency).
+
+Series: the sequential baseline, the multithreaded machine with 2/3/4
+contexts, and the dependence-free IDEAL lower bound.  The baseline degrades
+almost linearly with latency while the multithreaded curves stay much flatter
+(the paper reports a 6.8 % degradation for 2 contexts between latency 1 and
+100, versus a large increase for the baseline).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_report
+
+
+def test_fig10_latency_sweep(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("figure10", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    latencies = [row["memory_latency"] for row in report.rows]
+    low, high = min(latencies), max(latencies)
+    by_latency = {row["memory_latency"]: row for row in report.rows}
+    baseline_low, baseline_high = by_latency[low]["baseline"], by_latency[high]["baseline"]
+    threaded_low, threaded_high = by_latency[low]["2 threads"], by_latency[high]["2 threads"]
+    # ordering at every latency: baseline >= 2 threads >= more threads >= IDEAL
+    for row in report.rows:
+        assert row["baseline"] >= row["2 threads"] >= row["IDEAL"]
+    # the multithreaded machine is far more latency tolerant than the baseline
+    baseline_degradation = (baseline_high - baseline_low) / baseline_low
+    threaded_degradation = (threaded_high - threaded_low) / threaded_low
+    assert threaded_degradation < baseline_degradation
+    # speedup over the baseline exists even at latency 1 and grows with latency
+    assert baseline_low / threaded_low > 1.05
+    assert baseline_high / threaded_high > baseline_low / threaded_low

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 11 (slowdown from 3-cycle register-file crossbars).
+
+Duplicating the vector register file for multithreading makes the read/write
+crossbars larger and plausibly one cycle slower; the paper finds the cost is
+below 1 % thanks to vector granularity, multithreading and chaining.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_report
+
+
+def test_fig11_crossbar_slowdown(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("figure11", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    context_counts = experiment_context.settings.context_counts
+    for row in report.rows:
+        for contexts in context_counts:
+            slowdown = row[f"{contexts}_threads"]
+            # tiny cost, and never a large speedup either (scheduling noise aside)
+            assert 0.98 <= slowdown <= 1.03

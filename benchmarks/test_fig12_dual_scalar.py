@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 12 (multithreading vs Fujitsu-style dual scalar units).
+
+The dual-scalar machine decodes two scalar instructions per cycle and is
+therefore slightly ahead of 2-context multithreading at low memory latency;
+the curves converge as latency grows, and 3/4-context multithreading beats
+both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_report
+
+
+def test_fig12_dual_scalar_comparison(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("figure12", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    latencies = [row["memory_latency"] for row in report.rows]
+    low, high = min(latencies), max(latencies)
+    by_latency = {row["memory_latency"]: row for row in report.rows}
+    # the Fujitsu-style machine never loses to 2-context multithreading by much,
+    # and its advantage shrinks as memory latency grows
+    low_gap = by_latency[low]["2 threads"] - by_latency[low]["dual scalar"]
+    high_gap = by_latency[high]["2 threads"] - by_latency[high]["dual scalar"]
+    assert low_gap >= -0.01 * by_latency[low]["2 threads"]
+    assert high_gap / by_latency[high]["2 threads"] <= low_gap / by_latency[low]["2 threads"] + 0.01
+    # three contexts outperform both two-way schemes when present
+    for row in report.rows:
+        if "3 threads" in row:
+            assert row["3 threads"] <= row["dual scalar"] * 1.01
+        assert row["IDEAL"] <= row["2 threads"]

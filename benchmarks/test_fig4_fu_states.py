@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 4 (functional-unit state breakdown, reference machine).
+
+For every program and memory latency the execution time is split into the
+eight (FU2, FU1, LD) states; as in the paper, execution time grows with
+latency and the fully-idle state ( , , ) grows fastest.
+"""
+
+from __future__ import annotations
+
+from repro.core.statistics import FU_STATE_NAMES
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_report
+
+
+def test_fig4_functional_unit_states(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("figure4", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    latencies = experiment_context.settings.reference_latencies
+    assert len(report.rows) == 10 * len(latencies)
+    for row in report.rows:
+        assert sum(row[state] for state in FU_STATE_NAMES) == row["total_cycles"]
+    # execution time rises with memory latency for every program
+    by_program = {}
+    for row in report.rows:
+        by_program.setdefault(row["program"], {})[row["memory_latency"]] = row["total_cycles"]
+    for cycles in by_program.values():
+        assert cycles[max(latencies)] >= cycles[min(latencies)]

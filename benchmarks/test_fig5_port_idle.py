@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 5 (percentage of cycles with an idle memory port).
+
+The paper reports 30-65 % idle cycles at a 70-cycle memory latency across the
+ten programs — the free capacity multithreading later reclaims.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_report
+
+
+def test_fig5_memory_port_idle(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("figure5", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    high_latency = max(experiment_context.settings.reference_latencies)
+    idle_at_high = [
+        row["memory_port_idle_pct"]
+        for row in report.rows
+        if row["memory_latency"] == high_latency
+    ]
+    assert idle_at_high
+    # a substantial fraction of cycles leaves the port idle on every program
+    assert all(15.0 <= value <= 85.0 for value in idle_at_high)
+    # idle time grows (or stays equal) as latency grows, per program
+    by_program = {}
+    for row in report.rows:
+        by_program.setdefault(row["program"], {})[row["memory_latency"]] = row[
+            "memory_port_idle_pct"
+        ]
+    low_latency = min(experiment_context.settings.reference_latencies)
+    grew = sum(
+        1 for values in by_program.values() if values[high_latency] >= values[low_latency]
+    )
+    assert grew >= 8  # allow a couple of scalar-dominated exceptions

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 6 (speedup of the multithreaded machine).
+
+The paper reports speedups of roughly 1.2-1.4 with two contexts and up to
+~1.5 with three or four contexts at a 50-cycle memory latency.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_report
+
+
+def test_fig6_speedup(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("figure6", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    for row in report.rows:
+        speedup2 = row["speedup_2_threads"]
+        assert 1.05 <= speedup2 <= 1.8
+        if "speedup_3_threads" in row:
+            assert row["speedup_3_threads"] >= speedup2 - 0.1
+        if "speedup_4_threads" in row and "speedup_3_threads" in row:
+            # going from 3 to 4 contexts brings a much smaller increase
+            assert row["speedup_4_threads"] >= row["speedup_3_threads"] - 0.1

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 7 (memory-port occupation, multithreaded vs reference).
+
+The paper reports ~80-86 % occupation with two contexts and 90-95 % with
+three or four, against ~50-70 % for the same programs run sequentially on the
+reference machine.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_report
+
+
+def test_fig7_memory_port_occupation(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("figure7", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    for row in report.rows:
+        assert row["mth_2_threads"] > row["ref_2_threads"]
+        assert row["mth_2_threads"] >= 0.6
+        if "mth_3_threads" in row:
+            assert row["mth_3_threads"] >= row["mth_2_threads"] - 0.03
+            assert row["mth_3_threads"] >= 0.8

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 8 (vector operations per cycle, multithreaded vs reference).
+
+The reference machine sustains well under one arithmetic vector operation per
+cycle; multithreading pushes VOPC towards the limit imposed by the saturated
+memory port.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_report
+
+
+def test_fig8_vector_operations_per_cycle(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("figure8", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    for row in report.rows:
+        assert row["ref_2_threads"] < 1.0
+        assert row["mth_2_threads"] > row["ref_2_threads"]
+        assert row["mth_2_threads"] <= 2.0  # two arithmetic units bound VOPC
+        if "mth_3_threads" in row:
+            assert row["mth_3_threads"] >= row["mth_2_threads"] - 0.05

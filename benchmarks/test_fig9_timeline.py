@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 9 (execution example of the 10 programs, 2 contexts).
+
+Each hardware context picks the next program from the fixed job list when it
+finishes one; towards the end of the run one context may sit idle, exactly as
+the paper notes for DYFESM.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_timeline
+from repro.workloads.profiles import FIXED_WORKLOAD_ORDER
+
+
+def test_fig9_execution_timeline(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("figure9", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_timeline(report))
+    assert len(report.rows) == 10
+    executed = sorted(row["program"] for row in report.rows)
+    assert executed == sorted(FIXED_WORKLOAD_ORDER)
+    assert {row["thread"] for row in report.rows} <= {0, 1}
+    # the first two jobs of the list start at cycle 0, one per context
+    starting = [row for row in report.rows if row["start_cycle"] == 0]
+    assert len(starting) == 2

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 1 (latency parameters of the two architectures)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_report
+
+
+def test_table1_latencies(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("table1", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    parameters = report.column_values("parameter")
+    assert "read crossbar" in parameters and "vector startup" in parameters
+    # Table 1 trend: vector latencies exceed the scalar ones except div/sqrt
+    by_name = {row["parameter"]: row for row in report.rows}
+    assert by_name["alu"]["vector"] >= by_name["alu"]["scalar"]
+    assert by_name["div"]["vector"] <= by_name["div"]["scalar"]

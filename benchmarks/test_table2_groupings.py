@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (companion programs of the grouping scheme)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.groupings import grouping_plan
+from repro.experiments.report import render_report
+
+
+def test_table2_groupings(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("table2", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    # the scheme yields 5 + 10 + 10 = 25 groups per program (section 4.1)
+    plan = grouping_plan("swm256")
+    assert sum(len(groups) for groups in plan.values()) == 25
+    assert len(report.rows) == 5

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 3 (operation counts of the benchmark programs).
+
+The synthetic suite is scaled down, so instruction counts are smaller than the
+paper's; the comparable columns are the degree of vectorization and the
+average vector length, which are printed next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_report
+
+
+def test_table3_operation_counts(benchmark, experiment_context):
+    report = benchmark.pedantic(
+        run_experiment, args=("table3", experiment_context), rounds=1, iterations=1
+    )
+    print()
+    print(render_report(report))
+    assert len(report.rows) == 10
+    for row in report.rows:
+        assert abs(row["vectorization_pct"] - row["paper_vectorization_pct"]) < 8.0
+        assert abs(row["average_vl"] - row["paper_average_vl"]) / row["paper_average_vl"] < 0.2

@@ -1,0 +1,66 @@
+"""Compare thread-scheduling policies on the multithreaded vector machine.
+
+The paper's baseline scheduler is deliberately *unfair*: a thread runs until
+it blocks, and the switch logic then picks the lowest-numbered ready thread,
+so thread 0 never suffers a large slowdown and chaining is preserved.  The
+paper lists the study of other policies as ongoing work (section 2/10); this
+example runs that study on the reproduction: it compares the unfair policy
+against round-robin-on-block and a least-service (fairness-oriented) policy
+on the ten-program fixed workload, reporting total execution time, port
+occupancy and how long thread 0's first program took.
+
+Run with::
+
+    python examples/scheduling_policies.py
+"""
+
+from __future__ import annotations
+
+from repro.core import MachineConfig, MultithreadedSimulator
+from repro.core.scheduler import scheduler_names
+from repro.workloads import FIXED_WORKLOAD_ORDER, build_suite
+
+SCALE = 0.2
+MEMORY_LATENCY = 50
+CONTEXTS = 3
+
+
+def main() -> None:
+    print(f"building the suite at scale {SCALE} ...")
+    suite = build_suite(scale=SCALE)
+    jobs = [suite[name] for name in FIXED_WORKLOAD_ORDER]
+
+    header = (
+        f"{'policy':<15} | {'cycles':>12} | {'port occ.':>9} | {'VOPC':>6} | "
+        f"{'thread-0 first job':>18}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+
+    results = {}
+    for policy in scheduler_names():
+        config = MachineConfig.multithreaded(CONTEXTS, MEMORY_LATENCY, scheduler=policy)
+        result = MultithreadedSimulator(config).run_job_queue(jobs)
+        first_job = result.stats.thread(0).jobs[0]
+        first_job_cycles = (first_job.end_cycle or result.cycles) - first_job.start_cycle
+        results[policy] = result
+        print(
+            f"{policy:<15} | {result.cycles:>12,} | {result.memory_port_occupancy:>8.1%} | "
+            f"{result.vopc:>6.2f} | {first_job_cycles:>18,}"
+        )
+
+    unfair = results["unfair"]
+    print(
+        "\nWith coarse blocking-based switching the total throughput is almost "
+        "policy-insensitive\n(the memory port is the bottleneck either way), but the "
+        "unfair policy finishes thread 0's\nfirst program soonest — exactly the "
+        "property the paper designed it for."
+    )
+    print(
+        f"unfair policy port occupancy: {unfair.memory_port_occupancy:.1%} with "
+        f"{CONTEXTS} contexts at latency {MEMORY_LATENCY}"
+    )
+
+
+if __name__ == "__main__":
+    main()

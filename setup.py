@@ -1,0 +1,10 @@
+"""Compatibility shim so ``pip install -e .`` works with old setuptools.
+
+All project metadata lives in ``pyproject.toml``; this file only exists to
+support legacy editable installs on environments whose setuptools predates
+PEP 660 editable-wheel support (and offline environments without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

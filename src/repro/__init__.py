@@ -1,0 +1,75 @@
+"""repro — a reproduction of *Multithreaded Vector Architectures* (HPCA 1997).
+
+The package implements, in pure Python:
+
+* a Convex C3400-style vector ISA and instruction model (:mod:`repro.isa`),
+* synthetic analogues of the paper's Perfect Club / Specfp92 benchmark suite
+  (:mod:`repro.workloads`),
+* a Dixie-style trace pipeline (:mod:`repro.trace`),
+* the memory subsystem with its single shared address port (:mod:`repro.memory`),
+* cycle-level simulators of the reference, multithreaded and dual-scalar
+  machines (:mod:`repro.core`),
+* the experiment harness that regenerates every table and figure of the
+  paper's evaluation (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import MachineConfig, MultithreadedSimulator, ReferenceSimulator
+    from repro.workloads import build_benchmark
+
+    program = build_benchmark("swm256", scale=0.5)
+    baseline = ReferenceSimulator().run(program)
+    threaded = MultithreadedSimulator(MachineConfig.multithreaded(2)).run_group(
+        [program, build_benchmark("tomcatv", scale=0.5)]
+    )
+    print(baseline.cycles, threaded.memory_port_occupancy)
+"""
+
+from repro.core import (
+    DualScalarSimulator,
+    IdealMachineModel,
+    Job,
+    LatencyTable,
+    MachineConfig,
+    MultithreadedSimulator,
+    ReferenceSimulator,
+    SimulationResult,
+    simulate_program,
+)
+from repro.errors import (
+    AssemblyError,
+    ConfigurationError,
+    ExperimentError,
+    IsaError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    WorkloadError,
+)
+from repro.workloads import build_benchmark, build_suite, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyError",
+    "ConfigurationError",
+    "DualScalarSimulator",
+    "ExperimentError",
+    "IdealMachineModel",
+    "IsaError",
+    "Job",
+    "LatencyTable",
+    "MachineConfig",
+    "MultithreadedSimulator",
+    "ReferenceSimulator",
+    "ReproError",
+    "SimulationError",
+    "SimulationResult",
+    "TraceError",
+    "WorkloadError",
+    "__version__",
+    "build_benchmark",
+    "build_suite",
+    "build_workload",
+    "simulate_program",
+]

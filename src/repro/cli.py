@@ -1,0 +1,128 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples
+--------
+Regenerate one experiment at the default settings::
+
+    python -m repro.cli figure6
+
+Regenerate everything quickly (reduced grouping subset, coarse latency grid)::
+
+    python -m repro.cli all --preset quick
+
+Run the full-fidelity sweep (slow — minutes)::
+
+    python -m repro.cli figure10 --preset full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.experiments.figures import ALL_EXPERIMENTS, run_experiment
+from repro.experiments.report import render_report, render_timeline
+from repro.experiments.runner import ExperimentContext, ExperimentSettings
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mtv",
+        description=(
+            "Reproduction of 'Multithreaded Vector Architectures' (HPCA 1997): "
+            "regenerate the paper's tables and figures from the cycle-level simulator."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=(
+            "experiment ids to regenerate (e.g. table3 figure6 figure10), "
+            "or 'all' for every experiment"
+        ),
+    )
+    parser.add_argument(
+        "--preset",
+        choices=["default", "quick", "full"],
+        default="default",
+        help="how much simulation work to perform (default: default)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="override the synthetic workload scale (1.0 = a few thousand instructions/program)",
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        help="truncate each rendered table to this many rows",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write each regenerated experiment to this directory",
+    )
+    parser.add_argument(
+        "--output-format",
+        choices=["csv", "json"],
+        default="csv",
+        help="file format used with --output-dir (default: csv)",
+    )
+    return parser
+
+
+def _settings_for(preset: str, scale: float | None) -> ExperimentSettings:
+    if preset == "quick":
+        settings = ExperimentSettings.quick()
+    elif preset == "full":
+        settings = ExperimentSettings.full()
+    else:
+        settings = ExperimentSettings()
+    if scale is not None:
+        settings = settings.with_scale(scale)
+    return settings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    requested = list(args.experiments)
+    if "all" in requested:
+        requested = list(ALL_EXPERIMENTS)
+    unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(ALL_EXPERIMENTS)}, all"
+        )
+
+    context = ExperimentContext(_settings_for(args.preset, args.scale))
+    for experiment_id in requested:
+        started = time.perf_counter()
+        report = run_experiment(experiment_id, context)
+        elapsed = time.perf_counter() - started
+        if experiment_id == "figure9":
+            print(render_timeline(report))
+        else:
+            print(render_report(report, max_rows=args.max_rows))
+        if args.output_dir is not None:
+            from repro.experiments.export import write_report
+
+            path = write_report(report, args.output_dir, fmt=args.output_format)
+            print(f"[written to {path}]")
+        print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

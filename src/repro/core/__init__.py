@@ -1,0 +1,74 @@
+"""Core cycle-level simulators: the paper's primary contribution."""
+
+from repro.core.config import LatencyTable, MachineConfig
+from repro.core.context import HardwareContext
+from repro.core.dispatch import DispatchModel, DispatchOutcome
+from repro.core.dual_scalar import DualScalarSimulator
+from repro.core.engine import SimulationEngine
+from repro.core.functional_units import FunctionalUnit, VectorUnitPool
+from repro.core.ideal import IdealMachineModel, ideal_execution_time
+from repro.core.multithreaded import MultithreadedSimulator
+from repro.core.reference import ReferenceSimulator, as_job, simulate_program
+from repro.core.results import SimulationResult
+from repro.core.scheduler import (
+    LeastServiceScheduler,
+    RoundRobinScheduler,
+    ThreadScheduler,
+    UnfairBlockingScheduler,
+    create_scheduler,
+    scheduler_names,
+)
+from repro.core.scoreboard import RegisterState, Scoreboard
+from repro.core.statistics import (
+    FU_STATE_NAMES,
+    IntervalRecorder,
+    JobRecord,
+    SimulationStats,
+    ThreadStats,
+    fu_state_breakdown,
+)
+from repro.core.suppliers import (
+    Job,
+    JobQueueSupplier,
+    JobSupplier,
+    RepeatingSupplier,
+    SingleJobSupplier,
+)
+
+__all__ = [
+    "DispatchModel",
+    "DispatchOutcome",
+    "DualScalarSimulator",
+    "FU_STATE_NAMES",
+    "FunctionalUnit",
+    "HardwareContext",
+    "IdealMachineModel",
+    "IntervalRecorder",
+    "Job",
+    "JobQueueSupplier",
+    "JobRecord",
+    "JobSupplier",
+    "LatencyTable",
+    "LeastServiceScheduler",
+    "MachineConfig",
+    "MultithreadedSimulator",
+    "ReferenceSimulator",
+    "RegisterState",
+    "RepeatingSupplier",
+    "RoundRobinScheduler",
+    "Scoreboard",
+    "SimulationEngine",
+    "SimulationResult",
+    "SimulationStats",
+    "SingleJobSupplier",
+    "ThreadScheduler",
+    "ThreadStats",
+    "UnfairBlockingScheduler",
+    "VectorUnitPool",
+    "as_job",
+    "create_scheduler",
+    "fu_state_breakdown",
+    "ideal_execution_time",
+    "scheduler_names",
+    "simulate_program",
+]

@@ -1,0 +1,129 @@
+"""Hardware contexts: the per-thread architectural state of the machine.
+
+Each hardware context owns a full copy of the architectural registers (A, S
+and V files — modeled by its private :class:`~repro.core.scoreboard.Scoreboard`),
+its own fetch stream, and per-thread statistics.  The functional units, the
+decode unit and the memory port are *shared* and live in the simulation
+engine, exactly as in the proposed architecture (section 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.scoreboard import Scoreboard
+from repro.core.statistics import JobRecord, ThreadStats
+from repro.core.suppliers import Job, JobSupplier
+from repro.isa.instruction import Instruction
+
+__all__ = ["HardwareContext"]
+
+
+class HardwareContext:
+    """One hardware thread: registers, fetch stream and statistics."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        supplier: JobSupplier,
+        *,
+        model_bank_ports: bool = True,
+        allow_chaining: bool = True,
+        instruction_limit: int | None = None,
+    ) -> None:
+        self.thread_id = thread_id
+        self.supplier = supplier
+        self.scoreboard = Scoreboard(
+            model_bank_ports=model_bank_ports, allow_chaining=allow_chaining
+        )
+        self.stats = ThreadStats(thread_id=thread_id)
+        self.instruction_limit = instruction_limit
+        self._stream: Iterator[Instruction] | None = None
+        self._head: Instruction | None = None
+        self._finished = False
+        self._current_job: Job | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        """Whether this context has exhausted its supplier (no more work)."""
+        return self._finished
+
+    @property
+    def current_job_name(self) -> str | None:
+        """Name of the program currently running on this context."""
+        return self._current_job.name if self._current_job is not None else None
+
+    @property
+    def completed_programs(self) -> int:
+        """How many programs this context has run to completion."""
+        return self.stats.completed_programs
+
+    # ------------------------------------------------------------------ #
+    def head(self, now: int) -> Instruction | None:
+        """The next instruction to dispatch, fetching across job boundaries.
+
+        When the current stream is exhausted, the current job is marked
+        completed at cycle ``now`` and the supplier is asked for the next job.
+        Returns ``None`` once the supplier is exhausted (context finished) or
+        when an ``instruction_limit`` was reached (used for the fractional
+        reference runs of the speedup methodology).
+        """
+        if self._finished:
+            return None
+        if self.instruction_limit is not None and self.stats.instructions >= self.instruction_limit:
+            self._close_current_job(now, completed=False)
+            self._finished = True
+            return None
+        while self._head is None:
+            if self._stream is None:
+                job = self.supplier.next_job()
+                if job is None:
+                    self._finished = True
+                    return None
+                self._current_job = job
+                self._stream = job.open_stream()
+                self.stats.jobs.append(
+                    JobRecord(program=job.name, thread_id=self.thread_id, start_cycle=now)
+                )
+            try:
+                self._head = next(self._stream)
+            except StopIteration:
+                self._close_current_job(now, completed=True)
+                self._stream = None
+        return self._head
+
+    def _close_current_job(self, now: int, *, completed: bool) -> None:
+        if self._current_job is None:
+            return
+        record = self.stats.jobs[-1]
+        record.end_cycle = now
+        record.completed = completed
+        if completed:
+            self.stats.completed_programs += 1
+        self._current_job = None
+
+    # ------------------------------------------------------------------ #
+    def consume(self, instruction: Instruction) -> None:
+        """Account for the dispatch of the current head instruction."""
+        self._head = None
+        self.stats.instructions += 1
+        if self.stats.jobs:
+            self.stats.jobs[-1].instructions += 1
+        if instruction.is_vector_arithmetic or instruction.is_vector_memory:
+            self.stats.vector_instructions += 1
+            self.stats.vector_operations += instruction.element_count
+        else:
+            self.stats.scalar_instructions += 1
+        if instruction.is_memory:
+            self.stats.memory_transactions += instruction.memory_transactions
+
+    def record_lost_cycle(self) -> None:
+        """Account for a decode cycle lost to this context's blocked instruction."""
+        self.stats.lost_decode_cycles += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HardwareContext(thread={self.thread_id}, job={self.current_job_name!r}, "
+            f"instructions={self.stats.instructions}, finished={self._finished})"
+        )

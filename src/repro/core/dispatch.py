@@ -1,0 +1,281 @@
+"""The dispatch/execution timing model of the vector processor.
+
+This module answers the two questions the decode unit asks every cycle:
+
+1. *Could* the head instruction of a context be dispatched now — and if not,
+   when is the earliest cycle at which it could (:meth:`DispatchModel.earliest_issue`)?
+2. What happens when it *is* dispatched (:meth:`DispatchModel.dispatch`):
+   which functional unit it occupies for how long, when the memory port is
+   busy, when each destination register's first element and last element
+   become available, and whether dependents may chain on it.
+
+Timing rules implemented (paper section 3 / 3.1):
+
+* at most one instruction is dispatched per decode slot, in order per thread;
+* vector arithmetic executes on FU1 or FU2 (multiply/divide/sqrt on FU2
+  only); elements stream one per cycle after the vector start-up time, the
+  read crossbar, the unit latency and the write crossbar;
+* chaining is fully flexible from functional units to other functional units
+  and to the store unit, but memory loads do **not** chain into functional
+  units — consumers of a loaded register wait for the load to complete;
+* vector memory instructions own the LD unit while they stream their
+  addresses over the single address bus (one address per cycle); loads pay
+  the main-memory latency once, stores never wait for completion;
+* scalar instructions execute in the scalar unit with the Table 1 latencies;
+  scalar memory references share the single address bus with vector ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MachineConfig
+from repro.core.context import HardwareContext
+from repro.core.functional_units import VectorUnitPool
+from repro.errors import SimulationError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.memory.request import AccessKind, MemoryRequest
+from repro.memory.system import MemorySystem
+
+__all__ = ["DispatchModel", "DispatchOutcome"]
+
+
+@dataclass(frozen=True)
+class DispatchOutcome:
+    """Summary of one dispatched instruction, for statistics accounting."""
+
+    instruction: Instruction
+    thread_id: int
+    cycle: int
+    completion: int
+    vector_arithmetic_operations: int = 0
+    memory_transactions: int = 0
+    used_vector_unit: str | None = None
+
+
+_ACCESS_KIND_BY_CLASS = {
+    OpClass.VECTOR_LOAD: AccessKind.VECTOR_LOAD,
+    OpClass.VECTOR_STORE: AccessKind.VECTOR_STORE,
+    OpClass.VECTOR_GATHER: AccessKind.VECTOR_GATHER,
+    OpClass.VECTOR_SCATTER: AccessKind.VECTOR_SCATTER,
+    OpClass.SCALAR_LOAD: AccessKind.SCALAR_LOAD,
+    OpClass.SCALAR_STORE: AccessKind.SCALAR_STORE,
+}
+
+
+class DispatchModel:
+    """Shared execution-timing model used by all simulator front-ends."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        memory: MemorySystem,
+        vector_units: VectorUnitPool,
+    ) -> None:
+        self.config = config
+        self.memory = memory
+        self.vector_units = vector_units
+
+    # ------------------------------------------------------------------ #
+    # question 1: when could this instruction issue?
+    # ------------------------------------------------------------------ #
+    def earliest_issue(
+        self, context: HardwareContext, instruction: Instruction, now: int
+    ) -> int:
+        """Earliest cycle at which the instruction could be dispatched."""
+        earliest = context.scoreboard.earliest_dispatch(instruction, now)
+        if instruction.is_vector_arithmetic:
+            choice = self.vector_units.arithmetic_unit_for(instruction, now)
+            earliest = max(earliest, choice.earliest)
+        elif instruction.is_vector_memory:
+            earliest = max(earliest, self.vector_units.memory_unit(now).earliest)
+        return earliest
+
+    # ------------------------------------------------------------------ #
+    # question 2: what happens when it issues?
+    # ------------------------------------------------------------------ #
+    def dispatch(
+        self, context: HardwareContext, instruction: Instruction, now: int
+    ) -> DispatchOutcome:
+        """Dispatch the instruction at cycle ``now`` and perform all bookkeeping."""
+        if instruction.is_vector_arithmetic:
+            return self._dispatch_vector_arithmetic(context, instruction, now)
+        if instruction.is_vector_memory:
+            return self._dispatch_vector_memory(context, instruction, now)
+        if instruction.is_memory:
+            return self._dispatch_scalar_memory(context, instruction, now)
+        return self._dispatch_scalar(context, instruction, now)
+
+    # ------------------------------------------------------------------ #
+    def _dispatch_scalar(
+        self, context: HardwareContext, instruction: Instruction, now: int
+    ) -> DispatchOutcome:
+        latency_class = instruction.opcode.latency_class
+        latency = self.config.latencies.scalar_latency(latency_class)
+        ready_at = now + latency
+        for source in instruction.srcs:
+            context.scoreboard.record_read(source, now, now + 1)
+        if instruction.dest is not None:
+            context.scoreboard.record_write(
+                instruction.dest,
+                first_element_at=ready_at,
+                ready_at=ready_at,
+                chainable=True,
+            )
+        return DispatchOutcome(
+            instruction=instruction,
+            thread_id=context.thread_id,
+            cycle=now,
+            completion=ready_at,
+        )
+
+    def _dispatch_scalar_memory(
+        self, context: HardwareContext, instruction: Instruction, now: int
+    ) -> DispatchOutcome:
+        kind = _ACCESS_KIND_BY_CLASS[instruction.op_class]
+        request = MemoryRequest(
+            kind=kind,
+            elements=1,
+            address=instruction.address or 0,
+            stride=1,
+            thread_id=context.thread_id,
+        )
+        timing = self.memory.schedule(request, earliest=now + 1)
+        for source in instruction.srcs:
+            context.scoreboard.record_read(source, now, timing.start + 1)
+        completion = timing.completion
+        if instruction.dest is not None:  # scalar load
+            ready_at = timing.completion + 1
+            context.scoreboard.record_write(
+                instruction.dest,
+                first_element_at=ready_at,
+                ready_at=ready_at,
+                chainable=True,
+            )
+            completion = ready_at
+        return DispatchOutcome(
+            instruction=instruction,
+            thread_id=context.thread_id,
+            cycle=now,
+            completion=completion,
+            memory_transactions=1,
+        )
+
+    def _dispatch_vector_arithmetic(
+        self, context: HardwareContext, instruction: Instruction, now: int
+    ) -> DispatchOutcome:
+        if instruction.vl is None:
+            raise SimulationError(f"vector instruction without a vector length: {instruction}")
+        vl = instruction.vl
+        config = self.config
+        choice = self.vector_units.arithmetic_unit_for(instruction, now)
+        unit = choice.unit
+        if choice.earliest > now:
+            raise SimulationError(
+                f"vector unit {unit.name} is busy until {choice.earliest}, "
+                f"cannot dispatch at {now}"
+            )
+        latency = config.latencies.vector_latency(instruction.opcode.latency_class)
+        read_start = now + config.vector_startup
+        element_start = context.scoreboard.chain_start(instruction, read_start)
+        first_result = (
+            element_start
+            + config.read_crossbar_latency
+            + latency
+            + config.write_crossbar_latency
+        )
+        completion = first_result + vl - 1
+        read_end = element_start + vl
+        unit.reserve(now, read_end, elements=vl, record_until=completion)
+
+        for source in instruction.vector_sources():
+            context.scoreboard.record_read(source, now, read_end)
+        for source in instruction.scalar_sources():
+            context.scoreboard.record_read(source, now, now + 1)
+        if instruction.dest is not None:
+            if instruction.dest.is_vector:
+                context.scoreboard.record_write(
+                    instruction.dest,
+                    first_element_at=first_result,
+                    ready_at=completion + 1,
+                    chainable=True,
+                )
+            else:
+                # reductions deposit a scalar result once all elements are done
+                context.scoreboard.record_write(
+                    instruction.dest,
+                    first_element_at=completion + 1,
+                    ready_at=completion + 1,
+                    chainable=True,
+                )
+        return DispatchOutcome(
+            instruction=instruction,
+            thread_id=context.thread_id,
+            cycle=now,
+            completion=completion,
+            vector_arithmetic_operations=vl,
+            used_vector_unit=unit.name,
+        )
+
+    def _dispatch_vector_memory(
+        self, context: HardwareContext, instruction: Instruction, now: int
+    ) -> DispatchOutcome:
+        if instruction.vl is None:
+            raise SimulationError(f"vector instruction without a vector length: {instruction}")
+        vl = instruction.vl
+        config = self.config
+        unit_choice = self.vector_units.memory_unit(now)
+        if unit_choice.earliest > now:
+            raise SimulationError(
+                f"LD unit is busy until {unit_choice.earliest}, cannot dispatch at {now}"
+            )
+        unit = unit_choice.unit
+        kind = _ACCESS_KIND_BY_CLASS[instruction.op_class]
+        request = MemoryRequest(
+            kind=kind,
+            elements=vl,
+            address=instruction.address or 0,
+            stride=instruction.stride or 1,
+            thread_id=context.thread_id,
+        )
+        address_earliest = now + 1 + config.vector_startup
+        if instruction.vector_sources():
+            # stores read their data register (and gathers their index vector)
+            # through the read crossbar; chaining from a functional unit is
+            # allowed, so the transfer starts at the producer's element rate.
+            address_earliest = (
+                context.scoreboard.chain_start(instruction, address_earliest)
+                + config.read_crossbar_latency
+            )
+        timing = self.memory.schedule(request, earliest=address_earliest)
+        streaming_end = timing.start + vl
+
+        if kind.is_load:
+            record_until = timing.completion
+        else:
+            record_until = timing.completion + 1
+        unit.reserve(now, streaming_end, elements=vl, record_until=record_until)
+
+        for source in instruction.vector_sources():
+            context.scoreboard.record_read(source, now, streaming_end)
+        for source in instruction.scalar_sources():
+            context.scoreboard.record_read(source, now, now + 1)
+        if instruction.dest is not None:
+            # vector loads/gathers are NOT chainable into functional units on
+            # the modeled machine: consumers wait for the full completion.
+            ready_at = timing.completion + config.write_crossbar_latency + 1
+            context.scoreboard.record_write(
+                instruction.dest,
+                first_element_at=timing.first_element + config.write_crossbar_latency,
+                ready_at=ready_at,
+                chainable=False,
+            )
+        return DispatchOutcome(
+            instruction=instruction,
+            thread_id=context.thread_id,
+            cycle=now,
+            completion=timing.completion,
+            memory_transactions=vl,
+            used_vector_unit=unit.name,
+        )

@@ -1,0 +1,344 @@
+"""The cycle-level simulation engine shared by all machine front-ends.
+
+The engine implements the decode behaviour of section 3:
+
+* at each cycle the decode unit looks at **one** thread;
+* if that thread's current instruction can be dispatched it is sent to its
+  functional unit and the same thread is examined again next cycle (threads
+  run until they block, which favours chaining);
+* otherwise the decode cycle is *lost* and the switch logic selects, for the
+  following cycle, another thread that is known not to be blocked (the
+  baseline policy prefers the lowest-numbered ready thread);
+* when every thread is blocked the decode unit sits idle until the first one
+  unblocks.  The engine skips over such windows in one step — nothing can
+  dispatch inside them, so the simulation remains cycle-exact while its cost
+  stays proportional to the instruction count rather than the cycle count
+  (critical for a pure-Python cycle-level simulator).
+
+The Fujitsu-style *dual scalar* variant of section 9 (two complete scalar
+units sharing the vector facility, i.e. up to two instructions decoded per
+cycle but at most one of them vector) is implemented by a second loop,
+selected through ``MachineConfig.dual_scalar``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.context import HardwareContext
+from repro.core.dispatch import DispatchModel, DispatchOutcome
+from repro.core.functional_units import VectorUnitPool
+from repro.core.results import SimulationResult
+from repro.core.scheduler import ThreadScheduler, create_scheduler
+from repro.core.statistics import SimulationStats
+from repro.core.suppliers import JobSupplier
+from repro.errors import SimulationError
+from repro.memory.banks import BankConflictModel
+from repro.memory.system import MemorySystem
+
+__all__ = ["SimulationEngine", "StopCondition"]
+
+#: A stop condition receives the engine and returns True when the run must end.
+StopCondition = Callable[["SimulationEngine"], bool]
+
+#: Hard safety limit so a mis-configured run can never loop forever.
+DEFAULT_MAX_CYCLES = 2_000_000_000
+
+
+class SimulationEngine:
+    """Cycle-level simulator of the reference / multithreaded architectures."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        suppliers: Sequence[JobSupplier],
+        *,
+        instruction_limits: Sequence[int | None] | None = None,
+        scheduler: ThreadScheduler | None = None,
+    ) -> None:
+        if len(suppliers) != config.num_contexts:
+            raise SimulationError(
+                f"{config.num_contexts} hardware contexts need {config.num_contexts} "
+                f"job suppliers, got {len(suppliers)}"
+            )
+        if instruction_limits is not None and len(instruction_limits) != len(suppliers):
+            raise SimulationError("instruction_limits must match the number of contexts")
+        self.config = config
+        bank_model = None
+        if config.model_bank_conflicts:
+            bank_model = BankConflictModel(
+                num_banks=config.num_memory_banks,
+                bank_busy_cycles=config.bank_busy_cycles,
+            )
+        self.memory = MemorySystem(
+            latency=config.memory_latency,
+            bank_model=bank_model,
+            num_ports=config.num_memory_ports,
+        )
+        self.vector_units = VectorUnitPool(num_load_store_units=config.num_memory_ports)
+        self.dispatch_model = DispatchModel(config, self.memory, self.vector_units)
+        self.scheduler = scheduler or create_scheduler(config.scheduler)
+        self.contexts = [
+            HardwareContext(
+                thread_id=index,
+                supplier=supplier,
+                model_bank_ports=config.model_bank_ports,
+                allow_chaining=config.allow_chaining,
+                instruction_limit=(
+                    instruction_limits[index] if instruction_limits is not None else None
+                ),
+            )
+            for index, supplier in enumerate(suppliers)
+        ]
+        self.stats = SimulationStats(threads=[context.stats for context in self.contexts])
+        self.cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        *,
+        stop_when: StopCondition | None = None,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+    ) -> SimulationResult:
+        """Run the simulation until completion, a stop condition, or ``max_cycles``."""
+        if self.config.dual_scalar:
+            stop_reason = self._run_dual_scalar(stop_when, max_cycles)
+        elif self.config.issue_width > 1:
+            stop_reason = self._run_multi_issue(stop_when, max_cycles)
+        else:
+            stop_reason = self._run_single_decode(stop_when, max_cycles)
+        return self._finalize(stop_reason)
+
+    # ------------------------------------------------------------------ #
+    # single shared decode unit (reference and multithreaded machines)
+    # ------------------------------------------------------------------ #
+    def _run_single_decode(
+        self, stop_when: StopCondition | None, max_cycles: int
+    ) -> str:
+        active: HardwareContext | None = None
+        while self.cycle < max_cycles:
+            if active is None or active.finished:
+                active = self._pick_initial(self.cycle, previous=active)
+                if active is None:
+                    return "completed"
+            head = active.head(self.cycle)
+            if stop_when is not None and stop_when(self):
+                return "stop-condition"
+            if head is None:
+                # this context ran out of work; pick another without losing a cycle
+                active = None
+                continue
+            earliest = self.dispatch_model.earliest_issue(active, head, self.cycle)
+            if earliest <= self.cycle:
+                outcome = self.dispatch_model.dispatch(active, head, self.cycle)
+                active.consume(head)
+                self._account(outcome)
+                self.cycle += 1
+                continue
+            # the active thread blocks: the decode cycle is lost and the switch
+            # logic picks another non-blocked thread for the following cycle.
+            self.stats.decode_lost_cycles += 1
+            active.record_lost_cycle()
+            self.cycle += 1
+            ready = self._ready_contexts(self.cycle)
+            if not ready:
+                jump_to = self._earliest_unblock(self.cycle)
+                if jump_to is None:
+                    return "completed"
+                jump_to = min(jump_to, max_cycles)
+                if jump_to > self.cycle:
+                    self.stats.decode_idle_cycles += jump_to - self.cycle
+                    self.cycle = jump_to
+                ready = self._ready_contexts(self.cycle)
+            if ready:
+                active = self.scheduler.select(ready, previous=active, cycle=self.cycle)
+        return "max-cycles"
+
+    # ------------------------------------------------------------------ #
+    # dual scalar unit machine (Fujitsu VP2000 style, section 9)
+    # ------------------------------------------------------------------ #
+    def _run_dual_scalar(
+        self, stop_when: StopCondition | None, max_cycles: int
+    ) -> str:
+        while self.cycle < max_cycles:
+            heads = []
+            for context in self.contexts:
+                if context.finished:
+                    continue
+                head = context.head(self.cycle)
+                if head is not None:
+                    heads.append((context, head))
+            if stop_when is not None and stop_when(self):
+                return "stop-condition"
+            if not heads:
+                return "completed"
+            vector_issued = False
+            dispatched = 0
+            blocked_times = []
+            for context, head in heads:
+                earliest = self.dispatch_model.earliest_issue(context, head, self.cycle)
+                uses_vector_facility = head.is_vector_arithmetic or head.is_vector_memory
+                if earliest <= self.cycle and not (uses_vector_facility and vector_issued):
+                    outcome = self.dispatch_model.dispatch(context, head, self.cycle)
+                    context.consume(head)
+                    self._account(outcome)
+                    dispatched += 1
+                    if uses_vector_facility:
+                        vector_issued = True
+                else:
+                    context.record_lost_cycle()
+                    blocked_times.append(max(earliest, self.cycle + 1))
+            if dispatched:
+                self.cycle += 1
+                continue
+            self.stats.decode_lost_cycles += 1
+            jump_to = min(blocked_times) if blocked_times else self.cycle + 1
+            jump_to = max(jump_to, self.cycle + 1)
+            jump_to = min(jump_to, max_cycles)
+            self.stats.decode_idle_cycles += max(0, jump_to - self.cycle - 1)
+            self.cycle = jump_to
+        return "max-cycles"
+
+    # ------------------------------------------------------------------ #
+    # simultaneous issue from several threads (future-work decode unit)
+    # ------------------------------------------------------------------ #
+    def _run_multi_issue(
+        self, stop_when: StopCondition | None, max_cycles: int
+    ) -> str:
+        """Decode unit able to dispatch ``issue_width`` instructions per cycle.
+
+        Each hardware context still issues at most one instruction per cycle
+        and in order; the decode unit examines the ready contexts in scheduler
+        priority order and dispatches from up to ``issue_width`` of them.
+        """
+        width = self.config.issue_width
+        while self.cycle < max_cycles:
+            heads = []
+            for context in self.contexts:
+                if context.finished:
+                    continue
+                head = context.head(self.cycle)
+                if head is not None:
+                    heads.append((context, head))
+            if stop_when is not None and stop_when(self):
+                return "stop-condition"
+            if not heads:
+                return "completed"
+            dispatched = 0
+            blocked_times = []
+            remaining = list(heads)
+            while dispatched < width and remaining:
+                ready = [
+                    context
+                    for context, head in remaining
+                    if self.dispatch_model.earliest_issue(context, head, self.cycle)
+                    <= self.cycle
+                ]
+                if not ready:
+                    break
+                chosen = self.scheduler.select(ready, previous=None, cycle=self.cycle)
+                head = chosen.head(self.cycle)
+                outcome = self.dispatch_model.dispatch(chosen, head, self.cycle)
+                chosen.consume(head)
+                self._account(outcome)
+                dispatched += 1
+                remaining = [(c, h) for c, h in remaining if c is not chosen]
+            for context, head in remaining:
+                earliest = self.dispatch_model.earliest_issue(context, head, self.cycle)
+                if earliest > self.cycle:
+                    context.record_lost_cycle()
+                    blocked_times.append(earliest)
+            if dispatched:
+                self.cycle += 1
+                continue
+            self.stats.decode_lost_cycles += 1
+            jump_to = min(blocked_times) if blocked_times else self.cycle + 1
+            jump_to = max(jump_to, self.cycle + 1)
+            jump_to = min(jump_to, max_cycles)
+            self.stats.decode_idle_cycles += max(0, jump_to - self.cycle - 1)
+            self.cycle = jump_to
+        return "max-cycles"
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _pick_initial(
+        self, cycle: int, previous: HardwareContext | None
+    ) -> HardwareContext | None:
+        candidates = []
+        for context in self.contexts:
+            if context.finished:
+                continue
+            if context.head(cycle) is not None:
+                candidates.append(context)
+        if not candidates:
+            return None
+        ready = [
+            context
+            for context in candidates
+            if self.dispatch_model.earliest_issue(context, context.head(cycle), cycle) <= cycle
+        ]
+        pool = ready or candidates
+        return self.scheduler.select(pool, previous=previous, cycle=cycle)
+
+    def _ready_contexts(self, cycle: int) -> list[HardwareContext]:
+        ready = []
+        for context in self.contexts:
+            if context.finished:
+                continue
+            head = context.head(cycle)
+            if head is None:
+                continue
+            if self.dispatch_model.earliest_issue(context, head, cycle) <= cycle:
+                ready.append(context)
+        return ready
+
+    def _earliest_unblock(self, cycle: int) -> int | None:
+        earliest: int | None = None
+        for context in self.contexts:
+            if context.finished:
+                continue
+            head = context.head(cycle)
+            if head is None:
+                continue
+            time = self.dispatch_model.earliest_issue(context, head, cycle)
+            if earliest is None or time < earliest:
+                earliest = time
+        return earliest
+
+    def _account(self, outcome: DispatchOutcome) -> None:
+        stats = self.stats
+        instruction = outcome.instruction
+        stats.instructions += 1
+        stats.decode_busy_cycles += 1
+        if instruction.is_vector_arithmetic or instruction.is_vector_memory:
+            stats.vector_instructions += 1
+            stats.vector_operations += instruction.element_count
+            stats.vector_arithmetic_operations += outcome.vector_arithmetic_operations
+        else:
+            stats.scalar_instructions += 1
+        stats.memory_transactions += outcome.memory_transactions
+
+    def _finalize(self, stop_reason: str) -> SimulationResult:
+        self.stats.cycles = self.cycle
+        self.stats.memory_port_busy_cycles = self.memory.address_port_busy_cycles
+        self.stats.memory_ports = self.memory.num_ports
+        self.stats.fu1_intervals = self.vector_units.fu1.intervals
+        self.stats.fu2_intervals = self.vector_units.fu2.intervals
+        if len(self.vector_units.load_store_units) == 1:
+            self.stats.ld_intervals = self.vector_units.load_store.intervals
+        else:
+            self.stats.ld_intervals = self.vector_units.combined_load_store_intervals()
+        # close the job records of contexts that were still running at the end
+        for context in self.contexts:
+            record = context.stats.current_job
+            if record is not None:
+                record.end_cycle = self.cycle
+        return SimulationResult(
+            config=self.config,
+            stats=self.stats,
+            stop_reason=stop_reason,
+        )

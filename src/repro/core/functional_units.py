@@ -1,0 +1,140 @@
+"""Functional-unit models: FU1, FU2, the LD unit and the scalar pipelines.
+
+The vector part of the reference architecture has two fully-pipelined
+computation units and one memory unit (section 3):
+
+* **FU2** — general-purpose arithmetic unit, executes *all* vector
+  instructions including multiply, divide and square root;
+* **FU1** — restricted unit, executes everything *except* multiply, divide
+  and square root;
+* **LD** — the memory accessing unit, which owns the single memory port.
+
+In the multithreaded architecture these units are *shared* between the
+hardware contexts; only the register files are replicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.statistics import IntervalRecorder
+from repro.errors import SimulationError
+from repro.isa.instruction import Instruction
+
+__all__ = ["FunctionalUnit", "VectorUnitPool"]
+
+
+class FunctionalUnit:
+    """A serially-reusable, fully-pipelined execution unit."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._free_at = 0
+        self.intervals = IntervalRecorder(name)
+        self.instructions_executed = 0
+        self.element_operations = 0
+
+    @property
+    def free_at(self) -> int:
+        """First cycle at which a new instruction may occupy the unit."""
+        return self._free_at
+
+    def reserve(self, start: int, end: int, *, elements: int = 0, record_until: int | None = None) -> None:
+        """Occupy the unit for ``[start, end)``; ``record_until`` extends the stats window.
+
+        ``end`` bounds when the *next* instruction may start on the unit;
+        ``record_until`` (defaults to ``end``) is the busy window recorded for
+        the figure-4 state breakdown, which for memory operations extends
+        until the last datum has returned.
+        """
+        if start < 0 or end < start:
+            raise SimulationError(
+                f"unit {self.name}: invalid reservation [{start}, {end})"
+            )
+        self._free_at = max(self._free_at, end)
+        self.intervals.record(start, record_until if record_until is not None else end)
+        self.instructions_executed += 1
+        self.element_operations += elements
+
+    def reset(self) -> None:
+        """Clear reservations and statistics."""
+        self._free_at = 0
+        self.intervals.reset()
+        self.instructions_executed = 0
+        self.element_operations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionalUnit({self.name!r}, free_at={self._free_at})"
+
+
+@dataclass
+class _UnitChoice:
+    """The outcome of selecting an arithmetic unit for a vector instruction."""
+
+    unit: FunctionalUnit
+    earliest: int
+
+
+class VectorUnitPool:
+    """The shared vector execution resources (FU1, FU2 and the LD unit(s)).
+
+    The reference and multithreaded machines of the paper have a single
+    memory (LD) unit; the Cray-style future-work configuration (section 10)
+    has several, each owning one address port.
+    """
+
+    def __init__(self, num_load_store_units: int = 1) -> None:
+        if num_load_store_units < 1:
+            raise SimulationError("the vector unit pool needs at least one LD unit")
+        self.fu1 = FunctionalUnit("FU1")
+        self.fu2 = FunctionalUnit("FU2")
+        self.load_store_units = [
+            FunctionalUnit("LD" if index == 0 else f"LD{index}")
+            for index in range(num_load_store_units)
+        ]
+
+    @property
+    def load_store(self) -> FunctionalUnit:
+        """The first (and usually only) memory unit."""
+        return self.load_store_units[0]
+
+    def combined_load_store_intervals(self) -> "IntervalRecorder":
+        """Busy intervals of the memory unit(s), merged for the figure-4 breakdown."""
+        combined = IntervalRecorder("LD")
+        for unit in self.load_store_units:
+            for start, end in unit.intervals.intervals:
+                combined.record(start, end)
+        return combined
+
+    # ------------------------------------------------------------------ #
+    def arithmetic_unit_for(self, instruction: Instruction, now: int) -> _UnitChoice:
+        """Pick the arithmetic unit that can accept the instruction earliest.
+
+        Multiply, divide and square root may only execute on FU2; every other
+        vector instruction prefers whichever unit frees up first, breaking
+        ties towards FU1 so FU2 stays available for the restricted opcodes.
+        """
+        if not instruction.is_vector_arithmetic:
+            raise SimulationError(
+                f"instruction {instruction} is not a vector arithmetic operation"
+            )
+        if instruction.opcode.fu2_only:
+            return _UnitChoice(self.fu2, max(now, self.fu2.free_at))
+        fu1_ready = max(now, self.fu1.free_at)
+        fu2_ready = max(now, self.fu2.free_at)
+        if fu1_ready <= fu2_ready:
+            return _UnitChoice(self.fu1, fu1_ready)
+        return _UnitChoice(self.fu2, fu2_ready)
+
+    def memory_unit(self, now: int) -> _UnitChoice:
+        """The memory unit that can accept a new instruction earliest."""
+        best = min(self.load_store_units, key=lambda unit: max(now, unit.free_at))
+        return _UnitChoice(best, max(now, best.free_at))
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Clear every unit."""
+        self.fu1.reset()
+        self.fu2.reset()
+        for unit in self.load_store_units:
+            unit.reset()

@@ -1,0 +1,76 @@
+"""The IDEAL lower-bound execution-time model of figure 10.
+
+The paper's IDEAL line "indicates the lowest possible execution time, computed
+by removing all data dependencies from the programs and looking only at the
+most saturated resource and taking the utilization of that resource as the
+lower bound for execution time" (section 7).
+
+With all dependencies removed the machine is limited only by raw resource
+throughput:
+
+* the single address port transfers one element per cycle — the total number
+  of memory transactions is a lower bound;
+* the two vector arithmetic units retire at most two element operations per
+  cycle — half of the arithmetic element operations is a lower bound;
+* the decode unit dispatches at most one instruction per cycle — the total
+  instruction count is a lower bound (two per cycle for the dual-scalar
+  machine's scalar instructions, handled through ``decode_width``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.workloads.program import Program
+from repro.workloads.stats import ProgramStats, measure_program
+
+__all__ = ["IdealMachineModel", "ideal_execution_time"]
+
+
+class IdealMachineModel:
+    """Dependence-free lower bound on execution time for a set of programs."""
+
+    def __init__(self, *, decode_width: int = 1, num_arithmetic_units: int = 2) -> None:
+        self.decode_width = decode_width
+        self.num_arithmetic_units = num_arithmetic_units
+
+    # ------------------------------------------------------------------ #
+    def bound_for_stats(self, stats: Iterable[ProgramStats]) -> int:
+        """Lower-bound cycles to execute the union of the given workloads."""
+        total_memory = 0
+        total_arithmetic = 0
+        total_instructions = 0
+        for program_stats in stats:
+            total_memory += program_stats.memory_transactions
+            total_arithmetic += program_stats.vector_arithmetic_operations
+            total_instructions += program_stats.total_instructions
+        memory_bound = total_memory
+        arithmetic_bound = math.ceil(total_arithmetic / self.num_arithmetic_units)
+        decode_bound = math.ceil(total_instructions / self.decode_width)
+        return max(memory_bound, arithmetic_bound, decode_bound)
+
+    def bound_for_programs(self, programs: Iterable[Program]) -> int:
+        """Lower-bound cycles for a set of :class:`Program` workloads."""
+        return self.bound_for_stats(measure_program(program) for program in programs)
+
+    # ------------------------------------------------------------------ #
+    def bottleneck(self, stats: Iterable[ProgramStats]) -> str:
+        """Name of the resource that determines the bound."""
+        stats = list(stats)
+        total_memory = sum(s.memory_transactions for s in stats)
+        total_arithmetic = math.ceil(
+            sum(s.vector_arithmetic_operations for s in stats) / self.num_arithmetic_units
+        )
+        total_decode = math.ceil(sum(s.total_instructions for s in stats) / self.decode_width)
+        best = max(total_memory, total_arithmetic, total_decode)
+        if best == total_memory:
+            return "memory-port"
+        if best == total_arithmetic:
+            return "vector-arithmetic-units"
+        return "decode-unit"
+
+
+def ideal_execution_time(programs: Iterable[Program], *, decode_width: int = 1) -> int:
+    """Convenience wrapper: IDEAL lower bound for a list of programs."""
+    return IdealMachineModel(decode_width=decode_width).bound_for_programs(programs)

@@ -1,0 +1,117 @@
+"""The multithreaded vector architecture simulator (the paper's proposal).
+
+This facade wires the shared engine up for the two multiprogramming
+methodologies of the paper:
+
+* :meth:`MultithreadedSimulator.run_group` — the *groupings* methodology of
+  section 4.1: one program per hardware context, companions restarted until
+  the program on context 0 completes;
+* :meth:`MultithreadedSimulator.run_job_queue` — the *fixed workload*
+  methodology of section 7: a shared queue of programs, each context picking
+  up the next job when it finishes one, until all jobs are done.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.engine import SimulationEngine
+from repro.core.reference import as_job
+from repro.core.results import SimulationResult
+from repro.core.suppliers import (
+    Job,
+    JobQueueSupplier,
+    JobSupplier,
+    RepeatingSupplier,
+    SingleJobSupplier,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.trace.records import TraceSet
+from repro.workloads.program import Program
+
+__all__ = ["MultithreadedSimulator"]
+
+Workload = Job | Program | TraceSet
+
+
+class MultithreadedSimulator:
+    """Cycle-level simulator of the multithreaded vector architecture."""
+
+    def __init__(self, config: MachineConfig | None = None, *, num_contexts: int | None = None) -> None:
+        if config is None:
+            config = MachineConfig.multithreaded(num_contexts or 2)
+        elif num_contexts is not None and config.num_contexts != num_contexts:
+            raise ConfigurationError(
+                "num_contexts argument conflicts with the supplied configuration"
+            )
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    def run_group(
+        self,
+        workloads: Sequence[Workload],
+        *,
+        restart_companions: bool = True,
+    ) -> SimulationResult:
+        """Run one program per context until the program on context 0 completes.
+
+        Companion programs (contexts 1..N-1) are restarted as many times as
+        necessary, as in figure 3 of the paper; the run stops as soon as the
+        program on context 0 has been run to completion exactly once.
+        """
+        if len(workloads) != self.config.num_contexts:
+            raise SimulationError(
+                f"expected {self.config.num_contexts} programs "
+                f"(one per context), got {len(workloads)}"
+            )
+        jobs = [as_job(workload) for workload in workloads]
+        suppliers: list[JobSupplier] = [SingleJobSupplier(jobs[0])]
+        for job in jobs[1:]:
+            if restart_companions:
+                suppliers.append(RepeatingSupplier(job))
+            else:
+                suppliers.append(SingleJobSupplier(job))
+        engine = SimulationEngine(self.config, suppliers)
+
+        def thread0_completed(running_engine: SimulationEngine) -> bool:
+            return running_engine.contexts[0].completed_programs >= 1
+
+        result = engine.run(stop_when=thread0_completed)
+        result.workload_description = " + ".join(job.name for job in jobs)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def run_job_queue(self, workloads: Sequence[Workload]) -> SimulationResult:
+        """Run a fixed list of programs through a shared job queue (section 7).
+
+        All contexts pull from the same queue; the simulation ends when every
+        job has been executed to completion.  Towards the end of the run some
+        contexts may sit idle, exactly as the paper notes for figure 9.
+        """
+        jobs = [as_job(workload) for workload in workloads]
+        if not jobs:
+            raise SimulationError("the job queue needs at least one program")
+        queue = JobQueueSupplier(jobs)
+        suppliers: list[JobSupplier] = [queue for _ in range(self.config.num_contexts)]
+        engine = SimulationEngine(self.config, suppliers)
+        result = engine.run()
+        result.workload_description = ", ".join(job.name for job in jobs)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def run_single(self, workload: Workload) -> SimulationResult:
+        """Run a single program alone on the multithreaded machine.
+
+        Only context 0 receives work; the other contexts stay empty.  Useful
+        for isolating the cost of the multithreaded register file (crossbar
+        latency) on single-thread performance.
+        """
+        job = as_job(workload)
+        suppliers: list[JobSupplier] = [SingleJobSupplier(job)]
+        for _ in range(self.config.num_contexts - 1):
+            suppliers.append(JobQueueSupplier([]))
+        engine = SimulationEngine(self.config, suppliers)
+        result = engine.run()
+        result.workload_description = job.name
+        return result

@@ -1,0 +1,97 @@
+"""The reference architecture simulator (single-context Convex C3400 model).
+
+This is the paper's first simulator: "a model of the Convex C34 architecture
+...representative of single memory port vector computers" (section 4.1).  It
+is a thin facade over the shared :class:`~repro.core.engine.SimulationEngine`
+configured with a single hardware context.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.engine import SimulationEngine
+from repro.core.results import SimulationResult
+from repro.core.suppliers import Job, SingleJobSupplier
+from repro.errors import ConfigurationError
+from repro.trace.records import TraceSet
+from repro.workloads.program import Program
+
+__all__ = ["ReferenceSimulator", "as_job", "simulate_program"]
+
+
+def as_job(workload: Job | Program | TraceSet) -> Job:
+    """Normalize the accepted workload types into a :class:`Job`."""
+    if isinstance(workload, Job):
+        return workload
+    if isinstance(workload, Program):
+        return Job.from_program(workload)
+    if isinstance(workload, TraceSet):
+        return Job.from_trace(workload)
+    raise TypeError(
+        f"expected a Job, Program or TraceSet, got {type(workload).__name__}"
+    )
+
+
+class ReferenceSimulator:
+    """Cycle-level simulator of the non-multithreaded reference architecture."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config or MachineConfig.reference()
+        if self.config.num_contexts != 1:
+            raise ConfigurationError(
+                "the reference simulator models a single-context machine; "
+                f"got num_contexts={self.config.num_contexts}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        workload: Job | Program | TraceSet,
+        *,
+        instruction_limit: int | None = None,
+    ) -> SimulationResult:
+        """Simulate one program (optionally only its first ``instruction_limit`` instructions).
+
+        The instruction limit implements the *fractional* reference runs of the
+        speedup methodology (section 4.1): to charge the reference machine with
+        exactly the amount of work a partially-executed companion thread
+        performed, the reference simulation is stopped after the same number of
+        dispatched instructions.
+        """
+        job = as_job(workload)
+        engine = SimulationEngine(
+            self.config,
+            [SingleJobSupplier(job)],
+            instruction_limits=[instruction_limit],
+        )
+        result = engine.run()
+        result.workload_description = job.name
+        return result
+
+    def run_sequence(
+        self, workloads: Iterable[Job | Program | TraceSet]
+    ) -> list[SimulationResult]:
+        """Simulate several programs one after another (fresh machine each time).
+
+        The paper compares the multithreaded machine against the programs "run
+        sequentially on the reference machine"; the aggregate execution time of
+        a sequential run is simply the sum of the individual execution times.
+        """
+        return [self.run(workload) for workload in workloads]
+
+    # ------------------------------------------------------------------ #
+    def sequential_cycles(self, workloads: Sequence[Job | Program | TraceSet]) -> int:
+        """Total cycles to run the workloads back to back on the reference machine."""
+        return sum(result.cycles for result in self.run_sequence(workloads))
+
+
+def simulate_program(
+    workload: Job | Program | TraceSet,
+    config: MachineConfig | None = None,
+    *,
+    instruction_limit: int | None = None,
+) -> SimulationResult:
+    """Convenience function: simulate one program on the reference architecture."""
+    return ReferenceSimulator(config).run(workload, instruction_limit=instruction_limit)

@@ -1,0 +1,85 @@
+"""Simulation result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MachineConfig
+from repro.core.statistics import JobRecord, SimulationStats
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one simulation run.
+
+    The raw counters live in :attr:`stats`; the most frequently used metrics
+    are re-exported as properties so experiment code reads naturally
+    (``result.cycles``, ``result.memory_port_occupancy``, ``result.vopc``).
+    """
+
+    config: MachineConfig
+    stats: SimulationStats
+    stop_reason: str = "completed"
+    workload_description: str = ""
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cycles(self) -> int:
+        """Total execution time of the run, in cycles."""
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions dispatched."""
+        return self.stats.instructions
+
+    @property
+    def memory_port_occupancy(self) -> float:
+        """Busy fraction of the single memory (address) port."""
+        return self.stats.memory_port_occupancy
+
+    @property
+    def memory_port_idle_fraction(self) -> float:
+        """Idle fraction of the single memory (address) port (figure 5)."""
+        return self.stats.memory_port_idle_fraction
+
+    @property
+    def vopc(self) -> float:
+        """Vector arithmetic operations per cycle (section 6.3)."""
+        return self.stats.vopc
+
+    @property
+    def num_contexts(self) -> int:
+        """Number of hardware contexts of the simulated machine."""
+        return self.config.num_contexts
+
+    # ------------------------------------------------------------------ #
+    def jobs(self) -> list[JobRecord]:
+        """All program executions of the run, across every context."""
+        records: list[JobRecord] = []
+        for thread in self.stats.threads:
+            records.extend(thread.jobs)
+        return records
+
+    def completed_jobs(self) -> list[JobRecord]:
+        """Only the program executions that ran to completion."""
+        return [record for record in self.jobs() if record.completed]
+
+    def fu_state_breakdown(self) -> dict[str, int]:
+        """Execution-time breakdown into the eight figure-4 states."""
+        return self.stats.fu_state_breakdown()
+
+    def summary(self) -> dict[str, float]:
+        """A compact dictionary of the headline metrics."""
+        return {
+            "machine": self.config.name,
+            "contexts": self.config.num_contexts,
+            "memory_latency": self.config.memory_latency,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "memory_port_occupancy": round(self.memory_port_occupancy, 4),
+            "vopc": round(self.vopc, 4),
+            "stop_reason": self.stop_reason,
+        }

@@ -1,0 +1,190 @@
+"""Per-context register scoreboard: data hazards, chaining and bank ports.
+
+The modeled machine issues in order and has no register renaming (section 3),
+so the scoreboard tracks, for every architectural register of one hardware
+context:
+
+* when its in-flight value becomes fully available (``ready_at``),
+* when its *first element* becomes available and whether a dependent vector
+  instruction may **chain** on it (FU→FU and FU→store chaining is fully
+  flexible; memory loads are *not* chainable on the modeled Convex C34),
+* until when the register is still being written (WAW) or read (WAR) by
+  in-flight instructions.
+
+It also models the vector register file bank ports: every pair of vector
+registers shares two read ports and one write port (section 3).  The Convex
+compiler schedules code to avoid these conflicts; the scoreboard checks them
+anyway and stalls dispatch when a port is oversubscribed, which penalizes
+register allocations the real compiler would not produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.registers import (
+    NUM_VECTOR_BANKS,
+    READ_PORTS_PER_BANK,
+    Register,
+    RegisterClass,
+)
+
+__all__ = ["RegisterState", "Scoreboard"]
+
+
+@dataclass
+class RegisterState:
+    """Hazard-tracking state of one architectural register."""
+
+    ready_at: int = 0
+    first_element_at: int = 0
+    chainable: bool = True
+    write_busy_until: int = 0
+    read_busy_until: int = 0
+
+    def earliest_full_read(self) -> int:
+        """Earliest cycle a non-chaining consumer may depend on the value."""
+        return self.ready_at
+
+    def earliest_write(self) -> int:
+        """Earliest cycle a new producer may start overwriting the register."""
+        return max(self.write_busy_until, self.read_busy_until)
+
+
+class _BankPorts:
+    """Read/write port bookkeeping of one vector register bank."""
+
+    __slots__ = ("read_ends", "write_end")
+
+    def __init__(self) -> None:
+        self.read_ends: list[int] = []
+        self.write_end: int = 0
+
+    def earliest_read_slot(self, now: int) -> int:
+        """Earliest cycle at which a new reader can get one of the two ports."""
+        active = [end for end in self.read_ends if end > now]
+        if len(active) < READ_PORTS_PER_BANK:
+            return now
+        return sorted(active)[-READ_PORTS_PER_BANK]
+
+    def earliest_write_slot(self, now: int) -> int:
+        """Earliest cycle at which the single write port is free."""
+        return max(now, self.write_end)
+
+    def add_reader(self, end: int, now: int) -> None:
+        self.read_ends = [e for e in self.read_ends if e > now]
+        self.read_ends.append(end)
+
+    def add_writer(self, end: int) -> None:
+        self.write_end = max(self.write_end, end)
+
+
+class Scoreboard:
+    """Register-hazard and bank-port tracking for one hardware context."""
+
+    def __init__(self, *, model_bank_ports: bool = True, allow_chaining: bool = True) -> None:
+        self._registers: dict[Register, RegisterState] = {}
+        self._banks = [_BankPorts() for _ in range(NUM_VECTOR_BANKS)]
+        self._model_bank_ports = model_bank_ports
+        self._allow_chaining = allow_chaining
+
+    # ------------------------------------------------------------------ #
+    def state(self, register: Register) -> RegisterState:
+        """The (lazily created) hazard state of one register."""
+        state = self._registers.get(register)
+        if state is None:
+            state = RegisterState()
+            self._registers[register] = state
+        return state
+
+    def reset(self) -> None:
+        """Clear all hazard state (used when a context starts a new program)."""
+        self._registers.clear()
+        self._banks = [_BankPorts() for _ in range(NUM_VECTOR_BANKS)]
+
+    # ------------------------------------------------------------------ #
+    # dispatch-time constraint computation
+    # ------------------------------------------------------------------ #
+    def earliest_dispatch(self, instruction: Instruction, now: int) -> int:
+        """Earliest cycle at which register hazards allow dispatching.
+
+        Chainable vector sources impose no dispatch-time constraint (flexible
+        chaining: the dependent may issue at any time and its element timing
+        is resolved by the execution model); all other sources require the
+        producer to have completed.  The destination requires previous writers
+        and readers to have finished (no renaming).
+        """
+        earliest = now
+        for source in instruction.srcs:
+            state = self._registers.get(source)
+            if state is None:
+                continue
+            if source.cls is RegisterClass.VECTOR and state.chainable:
+                continue
+            earliest = max(earliest, state.earliest_full_read())
+        if instruction.dest is not None:
+            state = self._registers.get(instruction.dest)
+            if state is not None:
+                earliest = max(earliest, state.earliest_write())
+        if self._model_bank_ports:
+            earliest = max(earliest, self._earliest_bank_ports(instruction, now))
+        return earliest
+
+    def _earliest_bank_ports(self, instruction: Instruction, now: int) -> int:
+        earliest = now
+        for source in instruction.vector_sources():
+            bank = source.bank
+            if bank is not None:
+                earliest = max(earliest, self._banks[bank].earliest_read_slot(now))
+        if instruction.dest is not None and instruction.dest.is_vector:
+            bank = instruction.dest.bank
+            if bank is not None:
+                earliest = max(earliest, self._banks[bank].earliest_write_slot(now))
+        return earliest
+
+    # ------------------------------------------------------------------ #
+    # element-availability helpers used by the execution timing model
+    # ------------------------------------------------------------------ #
+    def chain_start(self, instruction: Instruction, candidate_start: int) -> int:
+        """First cycle at which the instruction can consume its first element.
+
+        For chainable in-flight vector sources this is the producer's
+        first-element time; completed or scalar sources impose no extra delay
+        (their full value is already available by dispatch time).
+        """
+        start = candidate_start
+        for source in instruction.vector_sources():
+            state = self._registers.get(source)
+            if state is None:
+                continue
+            if state.chainable and state.ready_at > candidate_start:
+                start = max(start, state.first_element_at)
+        return start
+
+    # ------------------------------------------------------------------ #
+    # post-dispatch bookkeeping
+    # ------------------------------------------------------------------ #
+    def record_read(self, register: Register, now: int, read_end: int) -> None:
+        """Mark a register as being read by an in-flight instruction."""
+        state = self.state(register)
+        state.read_busy_until = max(state.read_busy_until, read_end)
+        if self._model_bank_ports and register.is_vector and register.bank is not None:
+            self._banks[register.bank].add_reader(read_end, now)
+
+    def record_write(
+        self,
+        register: Register,
+        *,
+        first_element_at: int,
+        ready_at: int,
+        chainable: bool,
+    ) -> None:
+        """Mark a register as being produced by an in-flight instruction."""
+        state = self.state(register)
+        state.first_element_at = first_element_at
+        state.ready_at = ready_at
+        state.chainable = chainable and self._allow_chaining
+        state.write_busy_until = ready_at
+        if self._model_bank_ports and register.is_vector and register.bank is not None:
+            self._banks[register.bank].add_writer(ready_at)

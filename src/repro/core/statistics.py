@@ -1,0 +1,256 @@
+"""Simulation statistics: cycles, occupancies, VOPC and FU-state breakdown.
+
+The paper evaluates the architectures with three throughput metrics
+(section 6) plus a functional-unit state breakdown (figure 4):
+
+* **speedup** — computed by the experiment harness from execution times,
+* **memory port occupation** — busy address-bus cycles over total cycles,
+* **vector operations per cycle (VOPC)** — arithmetic vector element
+  operations over total cycles,
+* the breakdown of execution time into the eight ``(FU2, FU1, LD)``
+  busy/idle states.
+
+The simulator records busy *intervals* for each of the three vector units, so
+the state breakdown is computed by a single sweep over interval endpoints —
+this keeps the cost proportional to the number of vector instructions rather
+than to the number of simulated cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "FU_STATE_NAMES",
+    "IntervalRecorder",
+    "JobRecord",
+    "SimulationStats",
+    "ThreadStats",
+    "fu_state_breakdown",
+]
+
+#: Names of the three vector units in the order used by the state tuples.
+VECTOR_UNIT_NAMES = ("FU2", "FU1", "LD")
+
+#: The eight machine states of figure 4, encoded as frozensets of busy units.
+FU_STATE_NAMES: tuple[str, ...] = (
+    "( , , )",
+    "( , ,LD)",
+    "( ,FU1, )",
+    "( ,FU1,LD)",
+    "(FU2, , )",
+    "(FU2, ,LD)",
+    "(FU2,FU1, )",
+    "(FU2,FU1,LD)",
+)
+
+
+def _state_index(fu2_busy: bool, fu1_busy: bool, ld_busy: bool) -> int:
+    return (4 if fu2_busy else 0) + (2 if fu1_busy else 0) + (1 if ld_busy else 0)
+
+
+def state_name(fu2_busy: bool, fu1_busy: bool, ld_busy: bool) -> str:
+    """Human-readable name of one ``(FU2, FU1, LD)`` state."""
+    return FU_STATE_NAMES[_state_index(fu2_busy, fu1_busy, ld_busy)]
+
+
+class IntervalRecorder:
+    """Records busy intervals ``[start, end)`` of one functional unit."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._intervals: list[tuple[int, int]] = []
+
+    def record(self, start: int, end: int) -> None:
+        """Record one busy interval; zero-length intervals are ignored."""
+        if end < start:
+            raise SimulationError(
+                f"unit {self.name}: busy interval ends ({end}) before it starts ({start})"
+            )
+        if end > start:
+            self._intervals.append((start, end))
+
+    @property
+    def intervals(self) -> list[tuple[int, int]]:
+        """All recorded busy intervals (unsorted, possibly overlapping)."""
+        return list(self._intervals)
+
+    def busy_cycles(self, horizon: int | None = None) -> int:
+        """Number of distinct cycles the unit was busy (union of intervals)."""
+        if not self._intervals:
+            return 0
+        merged = self.merged(horizon)
+        return sum(end - start for start, end in merged)
+
+    def merged(self, horizon: int | None = None) -> list[tuple[int, int]]:
+        """Intervals merged into a sorted, non-overlapping list, clipped to ``horizon``."""
+        clipped: list[tuple[int, int]] = []
+        for start, end in self._intervals:
+            if horizon is not None:
+                end = min(end, horizon)
+            if end > start:
+                clipped.append((start, end))
+        if not clipped:
+            return []
+        clipped.sort()
+        merged = [clipped[0]]
+        for start, end in clipped[1:]:
+            last_start, last_end = merged[-1]
+            if start <= last_end:
+                merged[-1] = (last_start, max(last_end, end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def reset(self) -> None:
+        """Drop all recorded intervals."""
+        self._intervals.clear()
+
+
+def fu_state_breakdown(
+    fu2: IntervalRecorder,
+    fu1: IntervalRecorder,
+    ld: IntervalRecorder,
+    total_cycles: int,
+) -> dict[str, int]:
+    """Split ``total_cycles`` into the eight ``(FU2, FU1, LD)`` states of figure 4."""
+    if total_cycles <= 0:
+        return {name: 0 for name in FU_STATE_NAMES}
+    events: list[tuple[int, int, int]] = []  # (cycle, unit_bit, +1/-1)
+    for bit, recorder in ((4, fu2), (2, fu1), (1, ld)):
+        for start, end in recorder.merged(total_cycles):
+            events.append((start, bit, 1))
+            events.append((end, bit, -1))
+    breakdown = {name: 0 for name in FU_STATE_NAMES}
+    if not events:
+        breakdown[FU_STATE_NAMES[0]] = total_cycles
+        return breakdown
+    events.sort()
+    busy_bits = 0
+    previous_cycle = 0
+    index = 0
+    while index < len(events) and previous_cycle < total_cycles:
+        cycle = min(events[index][0], total_cycles)
+        if cycle > previous_cycle:
+            breakdown[FU_STATE_NAMES[busy_bits]] += cycle - previous_cycle
+            previous_cycle = cycle
+        while index < len(events) and events[index][0] == cycle:
+            _, bit, delta = events[index]
+            busy_bits += bit if delta > 0 else -bit
+            index += 1
+    if previous_cycle < total_cycles:
+        breakdown[FU_STATE_NAMES[max(busy_bits, 0)]] += total_cycles - previous_cycle
+    return breakdown
+
+
+@dataclass
+class JobRecord:
+    """One program execution on one hardware context (figure 9 timeline)."""
+
+    program: str
+    thread_id: int
+    start_cycle: int
+    end_cycle: int | None = None
+    instructions: int = 0
+    completed: bool = False
+
+
+@dataclass
+class ThreadStats:
+    """Per-hardware-context statistics."""
+
+    thread_id: int
+    instructions: int = 0
+    scalar_instructions: int = 0
+    vector_instructions: int = 0
+    vector_operations: int = 0
+    memory_transactions: int = 0
+    completed_programs: int = 0
+    lost_decode_cycles: int = 0
+    jobs: list[JobRecord] = field(default_factory=list)
+
+    @property
+    def current_job(self) -> JobRecord | None:
+        """The job currently running on this context, if any."""
+        if self.jobs and not self.jobs[-1].completed and self.jobs[-1].end_cycle is None:
+            return self.jobs[-1]
+        return None
+
+
+@dataclass
+class SimulationStats:
+    """Global statistics of one simulation run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    scalar_instructions: int = 0
+    vector_instructions: int = 0
+    vector_operations: int = 0
+    vector_arithmetic_operations: int = 0
+    memory_transactions: int = 0
+    memory_port_busy_cycles: int = 0
+    memory_ports: int = 1
+    decode_busy_cycles: int = 0
+    decode_lost_cycles: int = 0
+    decode_idle_cycles: int = 0
+    threads: list[ThreadStats] = field(default_factory=list)
+    fu2_intervals: IntervalRecorder = field(default_factory=lambda: IntervalRecorder("FU2"))
+    fu1_intervals: IntervalRecorder = field(default_factory=lambda: IntervalRecorder("FU1"))
+    ld_intervals: IntervalRecorder = field(default_factory=lambda: IntervalRecorder("LD"))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def memory_port_occupancy(self) -> float:
+        """Busy address-bus cycles over total cycles (section 6.2 metric).
+
+        With more than one memory port (the Cray-style extension) this is the
+        average occupation across the ports, so it stays within [0, 1].
+        """
+        if self.cycles <= 0:
+            return 0.0
+        ports = max(1, self.memory_ports)
+        return min(1.0, self.memory_port_busy_cycles / (self.cycles * ports))
+
+    @property
+    def memory_port_idle_fraction(self) -> float:
+        """Fraction of cycles the memory port was idle (figure 5 metric)."""
+        return 1.0 - self.memory_port_occupancy
+
+    @property
+    def vopc(self) -> float:
+        """Vector (arithmetic) operations per cycle (section 6.3 metric)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.vector_arithmetic_operations / self.cycles
+
+    @property
+    def instructions_per_cycle(self) -> float:
+        """Dispatched instructions per cycle (bounded by 1 except dual-scalar)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def fu_state_breakdown(self) -> dict[str, int]:
+        """Execution-time breakdown into the eight figure-4 states."""
+        return fu_state_breakdown(
+            self.fu2_intervals, self.fu1_intervals, self.ld_intervals, self.cycles
+        )
+
+    def fu_busy_fractions(self) -> dict[str, float]:
+        """Fraction of cycles each vector unit was busy."""
+        if self.cycles <= 0:
+            return {name: 0.0 for name in VECTOR_UNIT_NAMES}
+        return {
+            "FU2": self.fu2_intervals.busy_cycles(self.cycles) / self.cycles,
+            "FU1": self.fu1_intervals.busy_cycles(self.cycles) / self.cycles,
+            "LD": self.ld_intervals.busy_cycles(self.cycles) / self.cycles,
+        }
+
+    def thread(self, thread_id: int) -> ThreadStats:
+        """Statistics of one hardware context."""
+        for stats in self.threads:
+            if stats.thread_id == thread_id:
+                return stats
+        raise SimulationError(f"no statistics recorded for thread {thread_id}")

@@ -1,0 +1,126 @@
+"""Job suppliers: how hardware contexts obtain work during a simulation.
+
+The paper uses two multiprogramming methodologies:
+
+* **Groupings** (section 4.1): each hardware context is assigned one program;
+  shorter companion programs are *restarted* as many times as necessary until
+  the program on context 0 completes.
+* **Fixed workload** (section 7): all ten benchmarks form a job queue; when a
+  context finishes a program it picks up the next job from the queue, so the
+  total amount of work is fixed regardless of the number of contexts.
+
+Both are expressed here as *suppliers*: objects a hardware context asks for
+its next program.  A supplier returns :class:`Job` handles, each of which can
+produce a fresh dynamic instruction stream on demand.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.isa.instruction import Instruction
+from repro.trace.records import TraceSet
+from repro.trace.stream import TraceStream
+from repro.workloads.program import Program
+
+__all__ = [
+    "Job",
+    "JobQueueSupplier",
+    "JobSupplier",
+    "RepeatingSupplier",
+    "SingleJobSupplier",
+]
+
+
+class Job:
+    """A named unit of work that can produce a fresh instruction stream."""
+
+    def __init__(self, name: str, stream_factory: Callable[[], Iterator[Instruction]]) -> None:
+        self.name = name
+        self._stream_factory = stream_factory
+
+    def open_stream(self) -> Iterator[Instruction]:
+        """Create a fresh dynamic instruction stream for one execution."""
+        return iter(self._stream_factory())
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_program(cls, program: Program) -> "Job":
+        """Wrap a synthetic :class:`Program` as a job."""
+        return cls(program.name, program.instructions)
+
+    @classmethod
+    def from_trace(cls, trace: TraceSet) -> "Job":
+        """Wrap a Dixie :class:`TraceSet` as a job."""
+        return cls(trace.program_name, lambda: iter(TraceStream(trace)))
+
+    @classmethod
+    def from_instructions(cls, name: str, instructions: Iterable[Instruction]) -> "Job":
+        """Wrap a fixed instruction sequence as a job (materialized once)."""
+        frozen = tuple(instructions)
+        return cls(name, lambda: iter(frozen))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job({self.name!r})"
+
+
+class JobSupplier:
+    """Interface of the objects that hand out jobs to hardware contexts."""
+
+    def next_job(self) -> Job | None:
+        """Return the next job for the asking context, or ``None`` when done."""
+        raise NotImplementedError
+
+
+class SingleJobSupplier(JobSupplier):
+    """Supplies exactly one job, then reports exhaustion."""
+
+    def __init__(self, job: Job) -> None:
+        self._job: Job | None = job
+
+    def next_job(self) -> Job | None:
+        job, self._job = self._job, None
+        return job
+
+
+class RepeatingSupplier(JobSupplier):
+    """Supplies the same job over and over (the restart rule of section 4.1)."""
+
+    def __init__(self, job: Job, *, max_restarts: int | None = None) -> None:
+        self._job = job
+        self._remaining = None if max_restarts is None else max_restarts + 1
+        self.times_supplied = 0
+
+    def next_job(self) -> Job | None:
+        if self._remaining is not None and self._remaining <= 0:
+            return None
+        if self._remaining is not None:
+            self._remaining -= 1
+        self.times_supplied += 1
+        return self._job
+
+
+class JobQueueSupplier(JobSupplier):
+    """A shared FIFO job queue (the fixed-workload methodology of section 7).
+
+    One instance is shared by all hardware contexts of a simulation; each
+    context pulls its next program from the common queue when it finishes the
+    previous one, exactly as described in the paper (after [13]).
+    """
+
+    def __init__(self, jobs: Iterable[Job]) -> None:
+        self._queue: deque[Job] = deque(jobs)
+        self.dispatched: list[str] = []
+
+    def next_job(self) -> Job | None:
+        if not self._queue:
+            return None
+        job = self._queue.popleft()
+        self.dispatched.append(job.name)
+        return job
+
+    @property
+    def remaining(self) -> int:
+        """Number of jobs still waiting in the queue."""
+        return len(self._queue)

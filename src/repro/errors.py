@@ -1,0 +1,40 @@
+"""Exception hierarchy for the multithreaded vector architecture reproduction.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class IsaError(ReproError):
+    """Raised when an instruction is malformed or violates ISA constraints."""
+
+
+class AssemblyError(IsaError):
+    """Raised when textual assembly cannot be parsed or encoded."""
+
+
+class TraceError(ReproError):
+    """Raised when a trace file is malformed or internally inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload/program description cannot be built."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a machine configuration is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator reaches an impossible or corrupt state."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment specification cannot be satisfied."""

@@ -1,0 +1,431 @@
+"""Regeneration of every table and figure of the paper's evaluation.
+
+Each ``table*`` / ``figure*`` function runs the relevant experiment through an
+:class:`~repro.experiments.runner.ExperimentContext` and returns an
+:class:`ExperimentReport` — a title, column names and data rows that the
+report renderer and the benchmark harness print as the same rows/series the
+paper reports.  Absolute cycle counts differ from the paper (the workloads
+are synthetic and scaled); the comparisons of interest are ratios and trends,
+which EXPERIMENTS.md tracks against the published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import LatencyTable, MachineConfig
+from repro.core.reference import ReferenceSimulator
+from repro.core.statistics import FU_STATE_NAMES
+from repro.experiments.groupings import DEFAULT_GROUPING_TABLE
+from repro.experiments.runner import ExperimentContext
+from repro.workloads.profiles import BENCHMARK_PROFILES
+from repro.workloads.stats import measure_program
+
+__all__ = [
+    "ExperimentReport",
+    "table1",
+    "table2",
+    "table3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+]
+
+
+@dataclass
+class ExperimentReport:
+    """Rows of one regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def column_values(self, column: str) -> list[object]:
+        """All values of one column, in row order."""
+        return [row.get(column) for row in self.rows]
+
+
+# --------------------------------------------------------------------------- #
+# tables
+# --------------------------------------------------------------------------- #
+def table1(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Table 1: latency parameters of the two architectures."""
+    latencies = LatencyTable()
+    reference = MachineConfig.reference()
+    multithreaded = MachineConfig.multithreaded(4)
+    rows = []
+    for op_class in ("alu", "logic", "mul", "div", "sqrt", "move"):
+        rows.append(
+            {
+                "parameter": op_class,
+                "scalar": latencies.scalar_latency(op_class),
+                "vector": latencies.vector_latency(op_class),
+            }
+        )
+    rows.append(
+        {
+            "parameter": "read crossbar",
+            "scalar": reference.read_crossbar_latency,
+            "vector": multithreaded.read_crossbar_latency,
+        }
+    )
+    rows.append(
+        {
+            "parameter": "write crossbar",
+            "scalar": reference.write_crossbar_latency,
+            "vector": multithreaded.write_crossbar_latency,
+        }
+    )
+    rows.append(
+        {
+            "parameter": "vector startup",
+            "scalar": reference.vector_startup,
+            "vector": multithreaded.vector_startup,
+        }
+    )
+    return ExperimentReport(
+        experiment_id="table1",
+        title="Table 1: latency parameters (reproduction defaults)",
+        columns=["parameter", "scalar", "vector"],
+        rows=rows,
+        notes=(
+            "The scanned Table 1 is partially illegible; these are the "
+            "configurable defaults used by the reproduction."
+        ),
+    )
+
+
+def table2(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Table 2: the randomly selected companion programs for the groupings."""
+    rows = DEFAULT_GROUPING_TABLE.as_rows()
+    return ExperimentReport(
+        experiment_id="table2",
+        title="Table 2: companion programs used to form the groupings",
+        columns=["2 threads", "3 threads", "4 threads"],
+        rows=rows,
+        notes="Companion identities reconstructed from the examples in the text.",
+    )
+
+
+def table3(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Table 3: operation counts of the (synthetic) benchmark programs."""
+    context = context or ExperimentContext()
+    rows = []
+    for name, program in context.programs.items():
+        stats = measure_program(program)
+        profile = BENCHMARK_PROFILES[name]
+        rows.append(
+            {
+                "program": name,
+                "suite": profile.suite,
+                "scalar_instructions": stats.scalar_instructions,
+                "vector_instructions": stats.vector_instructions,
+                "vector_operations": stats.vector_operations,
+                "vectorization_pct": round(stats.vectorization, 1),
+                "paper_vectorization_pct": round(profile.paper_vectorization, 1),
+                "average_vl": round(stats.average_vector_length, 1),
+                "paper_average_vl": round(profile.paper_average_vl, 1),
+            }
+        )
+    return ExperimentReport(
+        experiment_id="table3",
+        title="Table 3: basic operation counts of the benchmark programs",
+        columns=[
+            "program",
+            "suite",
+            "scalar_instructions",
+            "vector_instructions",
+            "vector_operations",
+            "vectorization_pct",
+            "paper_vectorization_pct",
+            "average_vl",
+            "paper_average_vl",
+        ],
+        rows=rows,
+        notes="Counts are scaled down; vectorization %% and average VL match Table 3.",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# figures 4 and 5: the reference architecture's bottlenecks
+# --------------------------------------------------------------------------- #
+def _reference_runs(context: ExperimentContext):
+    """Run every benchmark alone on the reference machine at each figure-4 latency."""
+    runs = {}
+    for latency in context.settings.reference_latencies:
+        simulator = ReferenceSimulator(MachineConfig.reference(latency))
+        for name, program in context.programs.items():
+            runs[(name, latency)] = simulator.run(program)
+    return runs
+
+
+def figure4(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Figure 4: functional-unit usage breakdown of the reference architecture."""
+    context = context or ExperimentContext()
+    runs = _reference_runs(context)
+    rows = []
+    for (name, latency), result in runs.items():
+        breakdown = result.fu_state_breakdown()
+        row: dict[str, object] = {
+            "program": name,
+            "memory_latency": latency,
+            "total_cycles": result.cycles,
+        }
+        for state in FU_STATE_NAMES:
+            row[state] = breakdown[state]
+        rows.append(row)
+    return ExperimentReport(
+        experiment_id="figure4",
+        title="Figure 4: execution time broken into (FU2, FU1, LD) states",
+        columns=["program", "memory_latency", "total_cycles", *FU_STATE_NAMES],
+        rows=rows,
+        notes="Cycles per state; execution time grows with latency, dominated by ( , , ).",
+    )
+
+
+def figure5(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Figure 5: percentage of cycles with an idle memory port."""
+    context = context or ExperimentContext()
+    runs = _reference_runs(context)
+    rows = []
+    for (name, latency), result in runs.items():
+        rows.append(
+            {
+                "program": name,
+                "memory_latency": latency,
+                "memory_port_idle_pct": round(100.0 * result.memory_port_idle_fraction, 1),
+            }
+        )
+    return ExperimentReport(
+        experiment_id="figure5",
+        title="Figure 5: percentage of cycles where the memory port was idle",
+        columns=["program", "memory_latency", "memory_port_idle_pct"],
+        rows=rows,
+        notes="The paper reports 30-65%% idle at latency 70 across the ten programs.",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# figures 6, 7 and 8: the multithreaded architecture at latency 50
+# --------------------------------------------------------------------------- #
+def figure6(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Figure 6: speedup of the multithreaded machine for 2, 3 and 4 contexts."""
+    context = context or ExperimentContext()
+    results = context.grouping_results()
+    rows = []
+    for program in results.programs():
+        row: dict[str, object] = {"program": program}
+        for contexts in results.context_counts():
+            row[f"speedup_{contexts}_threads"] = round(
+                results.average_speedup(program, contexts), 3
+            )
+        rows.append(row)
+    columns = ["program"] + [
+        f"speedup_{count}_threads" for count in (results.context_counts() or (2, 3, 4))
+    ]
+    return ExperimentReport(
+        experiment_id="figure6",
+        title="Figure 6: speedup of the multithreaded approach (memory latency 50)",
+        columns=columns,
+        rows=rows,
+        notes="The paper reports 1.2-1.4 with 2 contexts, up to ~1.5 with 3-4 contexts.",
+    )
+
+
+def figure7(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Figure 7: memory-port occupation of the multithreaded vs reference machine."""
+    context = context or ExperimentContext()
+    results = context.grouping_results()
+    rows = []
+    for program in results.programs():
+        row: dict[str, object] = {"program": program}
+        for contexts in results.context_counts():
+            mth, ref = results.average_occupancy(program, contexts)
+            row[f"mth_{contexts}_threads"] = round(mth, 3)
+            row[f"ref_{contexts}_threads"] = round(ref, 3)
+        rows.append(row)
+    columns = ["program"]
+    for count in results.context_counts() or (2, 3, 4):
+        columns.extend([f"mth_{count}_threads", f"ref_{count}_threads"])
+    return ExperimentReport(
+        experiment_id="figure7",
+        title="Figure 7: occupation of the memory port (multithreaded vs reference)",
+        columns=columns,
+        rows=rows,
+        notes="The paper reports ~80-86%% with 2 contexts and ~90-95%% with 3-4 contexts.",
+    )
+
+
+def figure8(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Figure 8: vector operations per cycle of the multithreaded vs reference machine."""
+    context = context or ExperimentContext()
+    results = context.grouping_results()
+    rows = []
+    for program in results.programs():
+        row: dict[str, object] = {"program": program}
+        for contexts in results.context_counts():
+            mth, ref = results.average_vopc(program, contexts)
+            row[f"mth_{contexts}_threads"] = round(mth, 3)
+            row[f"ref_{contexts}_threads"] = round(ref, 3)
+        rows.append(row)
+    columns = ["program"]
+    for count in results.context_counts() or (2, 3, 4):
+        columns.extend([f"mth_{count}_threads", f"ref_{count}_threads"])
+    return ExperimentReport(
+        experiment_id="figure8",
+        title="Figure 8: occupation of the vector functional units (VOPC)",
+        columns=columns,
+        rows=rows,
+        notes="Reference VOPC is well below 1; multithreading pushes it towards saturation.",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# figures 9-12: the fixed workload and memory latency
+# --------------------------------------------------------------------------- #
+def figure9(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Figure 9: execution timeline of the ten programs on a 2-context machine."""
+    context = context or ExperimentContext()
+    run = context.fixed_workload.run_multithreaded(2, context.settings.memory_latency)
+    rows = []
+    for entry in run.timeline:
+        rows.append(
+            {
+                "thread": entry.thread_id,
+                "program": entry.program,
+                "start_cycle": entry.start_cycle,
+                "end_cycle": entry.end_cycle,
+                "duration": entry.duration,
+            }
+        )
+    return ExperimentReport(
+        experiment_id="figure9",
+        title="Figure 9: execution example of the 10 programs on a 2-context machine",
+        columns=["thread", "program", "start_cycle", "end_cycle", "duration"],
+        rows=rows,
+        notes=f"Total execution time: {run.cycles} cycles (latency "
+        f"{context.settings.memory_latency}).",
+    )
+
+
+def figure10(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Figure 10: total execution time vs memory latency for every machine."""
+    context = context or ExperimentContext()
+    sweep = context.latency_sweep()
+    latencies = context.settings.sweep_latencies
+    series = [sweep.baseline_series(latencies)]
+    for contexts in context.settings.context_counts:
+        series.append(sweep.multithreaded_series(contexts, latencies))
+    series.append(sweep.ideal_series(latencies))
+    rows = []
+    for latency in latencies:
+        row: dict[str, object] = {"memory_latency": latency}
+        for one_series in series:
+            row[one_series.label] = one_series.cycles_at(latency)
+        rows.append(row)
+    columns = ["memory_latency"] + [one_series.label for one_series in series]
+    baseline_degradation = series[0].degradation()
+    mth2_degradation = series[1].degradation() if len(series) > 1 else 0.0
+    return ExperimentReport(
+        experiment_id="figure10",
+        title="Figure 10: total execution time of the 10 benchmarks vs memory latency",
+        columns=columns,
+        rows=rows,
+        notes=(
+            f"Baseline degradation {baseline_degradation:.1%}, 2-thread degradation "
+            f"{mth2_degradation:.1%} across the sweep (paper: ~6.8%% for 2 threads)."
+        ),
+    )
+
+
+def figure11(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Figure 11: slowdown from a 3-cycle vector register-file crossbar."""
+    context = context or ExperimentContext()
+    sweep = context.latency_sweep()
+    latencies = context.settings.crossbar_latencies
+    rows = []
+    for latency in latencies:
+        row: dict[str, object] = {"memory_latency": latency}
+        for contexts in context.settings.context_counts:
+            slowdowns = sweep.crossbar_slowdowns(contexts, (latency,))
+            row[f"{contexts}_threads"] = round(slowdowns[latency], 5)
+        rows.append(row)
+    columns = ["memory_latency"] + [
+        f"{contexts}_threads" for contexts in context.settings.context_counts
+    ]
+    return ExperimentReport(
+        experiment_id="figure11",
+        title="Figure 11: slowdown due to 3-cycle read/write crossbars",
+        columns=columns,
+        rows=rows,
+        notes="The paper reports slowdowns below 1.009 across all latencies.",
+    )
+
+
+def figure12(context: ExperimentContext | None = None) -> ExperimentReport:
+    """Figure 12: dual-scalar (Fujitsu-style) machine vs the multithreaded machine."""
+    context = context or ExperimentContext()
+    sweep = context.latency_sweep()
+    latencies = context.settings.sweep_latencies
+    series = [
+        sweep.multithreaded_series(2, latencies),
+        sweep.dual_scalar_series(latencies),
+    ]
+    for contexts in context.settings.context_counts:
+        if contexts > 2:
+            series.append(sweep.multithreaded_series(contexts, latencies))
+    series.append(sweep.ideal_series(latencies))
+    rows = []
+    for latency in latencies:
+        row: dict[str, object] = {"memory_latency": latency}
+        for one_series in series:
+            row[one_series.label] = one_series.cycles_at(latency)
+        rows.append(row)
+    columns = ["memory_latency"] + [one_series.label for one_series in series]
+    return ExperimentReport(
+        experiment_id="figure12",
+        title="Figure 12: one multithreaded control unit vs two scalar units (Fujitsu style)",
+        columns=columns,
+        rows=rows,
+        notes="The dual-scalar machine is slightly faster at low latency; curves converge at 100.",
+    )
+
+
+#: Every regenerable experiment, keyed by its identifier.
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+}
+
+
+def run_experiment(
+    experiment_id: str, context: ExperimentContext | None = None
+) -> ExperimentReport:
+    """Regenerate one experiment by id (``"table3"``, ``"figure10"``, ...)."""
+    try:
+        builder = ALL_EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(ALL_EXPERIMENTS)}"
+        ) from exc
+    return builder(context)

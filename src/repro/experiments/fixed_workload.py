@@ -1,0 +1,167 @@
+"""The fixed-workload methodology of section 7 (figures 9, 10, 11 and 12).
+
+To study varying memory latency the paper fixes the total amount of work: all
+ten benchmarks, in the pseudo-random order TF, SW, SU, TI, TO, A7, HY, NA,
+SR, SD, form a job list.  On the baseline machine they run sequentially; on a
+multithreaded machine with *N* contexts the first *N* jobs start on the *N*
+contexts and every context picks up the next job from the list when it
+finishes one, so exactly the same work is performed regardless of *N*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MachineConfig
+from repro.core.dual_scalar import DualScalarSimulator
+from repro.core.ideal import IdealMachineModel
+from repro.core.multithreaded import MultithreadedSimulator
+from repro.core.reference import ReferenceSimulator
+from repro.core.results import SimulationResult
+from repro.core.statistics import JobRecord
+from repro.core.suppliers import Job
+from repro.errors import ExperimentError
+from repro.workloads.profiles import FIXED_WORKLOAD_ORDER
+from repro.workloads.program import Program
+from repro.workloads.stats import measure_program
+
+__all__ = ["FixedWorkload", "FixedWorkloadRun", "TimelineEntry"]
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One program execution in the figure-9 timeline."""
+
+    program: str
+    thread_id: int
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def duration(self) -> int:
+        """Cycles the program occupied its hardware context."""
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass
+class FixedWorkloadRun:
+    """Result of running the fixed workload on one machine configuration."""
+
+    machine: str
+    num_contexts: int
+    memory_latency: int
+    cycles: int
+    memory_port_occupancy: float
+    vopc: float
+    timeline: list[TimelineEntry] = field(default_factory=list)
+
+
+class FixedWorkload:
+    """The ten-benchmark job list and the machines that execute it."""
+
+    def __init__(
+        self,
+        programs: dict[str, Program],
+        *,
+        order: tuple[str, ...] = FIXED_WORKLOAD_ORDER,
+    ) -> None:
+        missing = [name for name in order if name not in programs]
+        if missing:
+            raise ExperimentError(
+                "fixed workload is missing programs: " + ", ".join(missing)
+            )
+        self.order = order
+        self.programs = programs
+        self._jobs = [Job.from_program(programs[name]) for name in order]
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _timeline(result: SimulationResult) -> list[TimelineEntry]:
+        entries = []
+        for record in result.jobs():
+            entries.append(
+                TimelineEntry(
+                    program=record.program,
+                    thread_id=record.thread_id,
+                    start_cycle=record.start_cycle,
+                    end_cycle=record.end_cycle if record.end_cycle is not None else record.start_cycle,
+                )
+            )
+        entries.sort(key=lambda entry: (entry.thread_id, entry.start_cycle))
+        return entries
+
+    def _wrap(self, result: SimulationResult, machine: str, latency: int) -> FixedWorkloadRun:
+        return FixedWorkloadRun(
+            machine=machine,
+            num_contexts=result.num_contexts,
+            memory_latency=latency,
+            cycles=result.cycles,
+            memory_port_occupancy=result.memory_port_occupancy,
+            vopc=result.vopc,
+            timeline=self._timeline(result),
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_baseline(self, memory_latency: int) -> FixedWorkloadRun:
+        """Run the ten programs sequentially on the reference machine."""
+        simulator = ReferenceSimulator(MachineConfig.reference(memory_latency))
+        total_cycles = 0
+        busy = 0
+        vector_ops = 0
+        timeline: list[TimelineEntry] = []
+        for job in self._jobs:
+            result = simulator.run(job)
+            timeline.append(
+                TimelineEntry(
+                    program=job.name,
+                    thread_id=0,
+                    start_cycle=total_cycles,
+                    end_cycle=total_cycles + result.cycles,
+                )
+            )
+            total_cycles += result.cycles
+            busy += result.stats.memory_port_busy_cycles
+            vector_ops += result.stats.vector_arithmetic_operations
+        occupancy = min(1.0, busy / total_cycles) if total_cycles else 0.0
+        vopc = vector_ops / total_cycles if total_cycles else 0.0
+        return FixedWorkloadRun(
+            machine="baseline",
+            num_contexts=1,
+            memory_latency=memory_latency,
+            cycles=total_cycles,
+            memory_port_occupancy=occupancy,
+            vopc=vopc,
+            timeline=timeline,
+        )
+
+    def run_multithreaded(
+        self,
+        num_contexts: int,
+        memory_latency: int,
+        *,
+        crossbar_latency: int = 2,
+        scheduler: str = "unfair",
+    ) -> FixedWorkloadRun:
+        """Run the job list on a multithreaded machine with ``num_contexts`` contexts."""
+        config = MachineConfig.multithreaded(
+            num_contexts,
+            memory_latency,
+            crossbar_latency=crossbar_latency,
+            scheduler=scheduler,
+        )
+        result = MultithreadedSimulator(config).run_job_queue(self._jobs)
+        return self._wrap(result, f"multithreaded-{num_contexts}", memory_latency)
+
+    def run_dual_scalar(self, memory_latency: int) -> FixedWorkloadRun:
+        """Run the job list on the Fujitsu-style dual-scalar machine (section 9)."""
+        result = DualScalarSimulator(
+            MachineConfig.dual_scalar_fujitsu(memory_latency)
+        ).run_job_queue(self._jobs)
+        return self._wrap(result, "dual-scalar", memory_latency)
+
+    def ideal_cycles(self) -> int:
+        """The IDEAL dependence-free lower bound of figure 10."""
+        model = IdealMachineModel()
+        return model.bound_for_stats(
+            measure_program(self.programs[name]) for name in self.order
+        )

@@ -1,0 +1,135 @@
+"""Memory-latency sweeps over the fixed workload (figures 10, 11 and 12).
+
+Section 7 varies the main-memory latency between 1 and 100 cycles and
+compares the baseline machine against the multithreaded machine with 2, 3 and
+4 contexts (figure 10), the effect of a slower vector register-file crossbar
+(figure 11) and the Fujitsu-style dual-scalar machine (figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.experiments.fixed_workload import FixedWorkload
+
+__all__ = [
+    "DEFAULT_LATENCIES",
+    "CROSSBAR_LATENCIES",
+    "LatencySweep",
+    "SweepSeries",
+]
+
+#: Memory latencies swept by default (the paper's x-axis runs from 1 to 100).
+DEFAULT_LATENCIES: tuple[int, ...] = (1, 20, 40, 60, 80, 100)
+
+#: Latencies used for the crossbar study of figure 11.
+CROSSBAR_LATENCIES: tuple[int, ...] = (1, 10, 30, 50, 70, 90, 100)
+
+
+@dataclass
+class SweepSeries:
+    """One curve of a latency-sweep figure: cycles per memory latency."""
+
+    label: str
+    points: dict[int, int] = field(default_factory=dict)
+
+    def add(self, latency: int, cycles: int) -> None:
+        """Record the execution time measured at one latency."""
+        self.points[latency] = cycles
+
+    def cycles_at(self, latency: int) -> int:
+        """Execution time at one latency (raises if not measured)."""
+        try:
+            return self.points[latency]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"series {self.label!r} has no point at latency {latency}"
+            ) from exc
+
+    @property
+    def latencies(self) -> list[int]:
+        """The measured latencies, sorted."""
+        return sorted(self.points)
+
+    def degradation(self) -> float:
+        """Relative increase in execution time from the lowest to the highest latency."""
+        latencies = self.latencies
+        if len(latencies) < 2:
+            return 0.0
+        first = self.points[latencies[0]]
+        last = self.points[latencies[-1]]
+        if first == 0:
+            return 0.0
+        return (last - first) / first
+
+
+class LatencySweep:
+    """Runs the fixed workload across memory latencies and machine variants."""
+
+    def __init__(self, workload: FixedWorkload) -> None:
+        self.workload = workload
+
+    # ------------------------------------------------------------------ #
+    def baseline_series(self, latencies: tuple[int, ...] = DEFAULT_LATENCIES) -> SweepSeries:
+        """Execution time of the sequential baseline at each latency."""
+        series = SweepSeries("baseline")
+        for latency in latencies:
+            series.add(latency, self.workload.run_baseline(latency).cycles)
+        return series
+
+    def multithreaded_series(
+        self,
+        num_contexts: int,
+        latencies: tuple[int, ...] = DEFAULT_LATENCIES,
+        *,
+        crossbar_latency: int = 2,
+        scheduler: str = "unfair",
+    ) -> SweepSeries:
+        """Execution time of the N-context multithreaded machine at each latency."""
+        label = f"{num_contexts} threads"
+        if crossbar_latency != 2:
+            label += f" (xbar {crossbar_latency})"
+        series = SweepSeries(label)
+        for latency in latencies:
+            run = self.workload.run_multithreaded(
+                num_contexts,
+                latency,
+                crossbar_latency=crossbar_latency,
+                scheduler=scheduler,
+            )
+            series.add(latency, run.cycles)
+        return series
+
+    def dual_scalar_series(self, latencies: tuple[int, ...] = DEFAULT_LATENCIES) -> SweepSeries:
+        """Execution time of the Fujitsu-style dual-scalar machine at each latency."""
+        series = SweepSeries("dual scalar")
+        for latency in latencies:
+            series.add(latency, self.workload.run_dual_scalar(latency).cycles)
+        return series
+
+    def ideal_series(self, latencies: tuple[int, ...] = DEFAULT_LATENCIES) -> SweepSeries:
+        """The latency-independent IDEAL lower bound, replicated per latency."""
+        bound = self.workload.ideal_cycles()
+        series = SweepSeries("IDEAL")
+        for latency in latencies:
+            series.add(latency, bound)
+        return series
+
+    # ------------------------------------------------------------------ #
+    def crossbar_slowdowns(
+        self,
+        num_contexts: int,
+        latencies: tuple[int, ...] = CROSSBAR_LATENCIES,
+        *,
+        slow_crossbar: int = 3,
+    ) -> dict[int, float]:
+        """Figure 11: slowdown of a ``slow_crossbar``-cycle crossbar vs the 2-cycle one."""
+        slowdowns: dict[int, float] = {}
+        for latency in latencies:
+            fast = self.workload.run_multithreaded(num_contexts, latency, crossbar_latency=2)
+            slow = self.workload.run_multithreaded(
+                num_contexts, latency, crossbar_latency=slow_crossbar
+            )
+            slowdowns[latency] = slow.cycles / fast.cycles if fast.cycles else 0.0
+        return slowdowns

@@ -1,0 +1,161 @@
+"""The groupings experiment: speedup, port occupation and VOPC (figures 6-8).
+
+For every benchmark program the paper runs it on hardware context 0 together
+with companion programs (Table 2) on 2-, 3- and 4-context multithreaded
+machines, computes the section 4.1 speedup, and reports three per-program
+averages (figures 6, 7 and 8).  This module runs exactly that experiment —
+optionally on a reduced subset of the groups so it stays fast enough for
+continuous testing — and returns a structured result the figure generators
+and the benchmark harness share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MachineConfig
+from repro.core.multithreaded import MultithreadedSimulator
+from repro.core.reference import ReferenceSimulator
+from repro.core.suppliers import Job
+from repro.errors import ExperimentError
+from repro.experiments.groupings import DEFAULT_GROUPING_TABLE, GroupingTable, grouping_plan
+from repro.experiments.metrics import ReferenceBank, compute_speedup
+from repro.workloads.program import Program
+
+__all__ = ["GroupRunMetrics", "GroupingExperiment", "GroupingExperimentResult"]
+
+
+@dataclass(frozen=True)
+class GroupRunMetrics:
+    """Metrics of one multithreaded group run and its reference counterpart."""
+
+    group: tuple[str, ...]
+    num_contexts: int
+    multithreaded_cycles: int
+    speedup: float
+    multithreaded_occupancy: float
+    reference_occupancy: float
+    multithreaded_vopc: float
+    reference_vopc: float
+
+
+@dataclass
+class GroupingExperimentResult:
+    """All group runs of a groupings experiment, indexed by program and contexts."""
+
+    memory_latency: int
+    runs: dict[str, dict[int, list[GroupRunMetrics]]] = field(default_factory=dict)
+
+    def add(self, program: str, metrics: GroupRunMetrics) -> None:
+        """Record one group run under its context-0 program."""
+        self.runs.setdefault(program, {}).setdefault(metrics.num_contexts, []).append(metrics)
+
+    # -- per-program averages (what the paper's bars show) ---------------- #
+    def _values(self, program: str, num_contexts: int, attribute: str) -> list[float]:
+        try:
+            metrics = self.runs[program][num_contexts]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"no runs recorded for {program!r} with {num_contexts} contexts"
+            ) from exc
+        return [getattr(run, attribute) for run in metrics]
+
+    def average_speedup(self, program: str, num_contexts: int) -> float:
+        """Average section-4.1 speedup of ``program`` (figure 6 bar)."""
+        values = self._values(program, num_contexts, "speedup")
+        return sum(values) / len(values)
+
+    def average_occupancy(self, program: str, num_contexts: int) -> tuple[float, float]:
+        """Average (multithreaded, reference) port occupation (figure 7 bars)."""
+        mth = self._values(program, num_contexts, "multithreaded_occupancy")
+        ref = self._values(program, num_contexts, "reference_occupancy")
+        return sum(mth) / len(mth), sum(ref) / len(ref)
+
+    def average_vopc(self, program: str, num_contexts: int) -> tuple[float, float]:
+        """Average (multithreaded, reference) vector operations per cycle (figure 8)."""
+        mth = self._values(program, num_contexts, "multithreaded_vopc")
+        ref = self._values(program, num_contexts, "reference_vopc")
+        return sum(mth) / len(mth), sum(ref) / len(ref)
+
+    def programs(self) -> list[str]:
+        """Programs for which runs were recorded, in insertion order."""
+        return list(self.runs)
+
+    def context_counts(self) -> list[int]:
+        """The context counts covered by the experiment."""
+        counts: set[int] = set()
+        for per_program in self.runs.values():
+            counts.update(per_program)
+        return sorted(counts)
+
+
+class GroupingExperiment:
+    """Runs the groupings methodology for a set of programs."""
+
+    def __init__(
+        self,
+        programs: dict[str, Program],
+        *,
+        memory_latency: int = 50,
+        table: GroupingTable = DEFAULT_GROUPING_TABLE,
+        max_groups_per_size: int | None = None,
+        context_counts: tuple[int, ...] = (2, 3, 4),
+        scheduler: str = "unfair",
+    ) -> None:
+        unknown = [name for name in table.two_thread_companions if name not in programs]
+        self.programs = programs
+        self.memory_latency = memory_latency
+        self.table = table
+        self.max_groups_per_size = max_groups_per_size
+        self.context_counts = context_counts
+        self.scheduler = scheduler
+        if unknown:
+            raise ExperimentError(
+                "grouping companions missing from the program set: " + ", ".join(unknown)
+            )
+        self._jobs = {name: Job.from_program(program) for name, program in programs.items()}
+        reference = ReferenceSimulator(MachineConfig.reference(memory_latency))
+        self.reference_bank = ReferenceBank(self._jobs, reference)
+
+    # ------------------------------------------------------------------ #
+    def run_group(self, group: tuple[str, ...]) -> GroupRunMetrics:
+        """Run one multiprogrammed group (program on context 0 first)."""
+        num_contexts = len(group)
+        config = MachineConfig.multithreaded(
+            num_contexts, self.memory_latency, scheduler=self.scheduler
+        )
+        simulator = MultithreadedSimulator(config)
+        jobs = [self._jobs[name] for name in group]
+        result = simulator.run_group(jobs)
+        breakdown = compute_speedup(result, self.reference_bank)
+        _, ref_occupancy, ref_vopc = self.reference_bank.sequential_metrics(list(group))
+        return GroupRunMetrics(
+            group=group,
+            num_contexts=num_contexts,
+            multithreaded_cycles=result.cycles,
+            speedup=breakdown.speedup,
+            multithreaded_occupancy=result.memory_port_occupancy,
+            reference_occupancy=ref_occupancy,
+            multithreaded_vopc=result.vopc,
+            reference_vopc=ref_vopc,
+        )
+
+    def run_program(self, program: str) -> list[GroupRunMetrics]:
+        """Run every group of the plan for one program."""
+        plan = grouping_plan(
+            program, table=self.table, max_groups_per_size=self.max_groups_per_size
+        )
+        metrics: list[GroupRunMetrics] = []
+        for num_contexts in self.context_counts:
+            for group in plan[num_contexts]:
+                metrics.append(self.run_group(group))
+        return metrics
+
+    def run(self, programs: list[str] | None = None) -> GroupingExperimentResult:
+        """Run the experiment for the given programs (default: all registered)."""
+        selected = programs if programs is not None else list(self.programs)
+        result = GroupingExperimentResult(memory_latency=self.memory_latency)
+        for program in selected:
+            for metrics in self.run_program(program):
+                result.add(program, metrics)
+        return result

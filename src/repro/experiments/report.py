@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment reports (tables and figure series)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import ExperimentReport
+
+__all__ = ["render_report", "render_timeline"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_report(report: ExperimentReport, *, max_rows: int | None = None) -> str:
+    """Render an :class:`ExperimentReport` as an aligned ASCII table."""
+    rows = report.rows if max_rows is None else report.rows[:max_rows]
+    columns = report.columns
+    table: list[list[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        table.append([_format_value(row.get(column, "")) for column in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = [report.title, "=" * len(report.title)]
+    header = " | ".join(cell.ljust(width) for cell, width in zip(table[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in table[1:]:
+        lines.append(" | ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+    if max_rows is not None and len(report.rows) > max_rows:
+        lines.append(f"... ({len(report.rows) - max_rows} more rows)")
+    if report.notes:
+        lines.append("")
+        lines.append(f"Note: {report.notes}")
+    return "\n".join(lines)
+
+
+def render_timeline(report: ExperimentReport, *, width: int = 72) -> str:
+    """Render the figure-9 timeline report as an ASCII Gantt-style chart."""
+    if report.experiment_id != "figure9":
+        return render_report(report)
+    rows = report.rows
+    if not rows:
+        return render_report(report)
+    total = max(int(row["end_cycle"]) for row in rows) or 1
+    lines = [report.title, "=" * len(report.title)]
+    threads = sorted({int(row["thread"]) for row in rows})
+    for thread in threads:
+        entries = [row for row in rows if int(row["thread"]) == thread]
+        entries.sort(key=lambda row: int(row["start_cycle"]))
+        chart = [" "] * width
+        labels: list[str] = []
+        for row in entries:
+            start = int(int(row["start_cycle"]) / total * width)
+            end = max(start + 1, int(int(row["end_cycle"]) / total * width))
+            short = str(row["program"])[:2]
+            for position in range(start, min(end, width)):
+                chart[position] = "#"
+            if start < width:
+                chart[start] = short[0]
+                if start + 1 < min(end, width) and len(short) > 1:
+                    chart[start + 1] = short[1]
+            labels.append(f"{row['program']}[{row['start_cycle']}-{row['end_cycle']}]")
+        lines.append(f"thread {thread}: |{''.join(chart)}|")
+        lines.append("          " + " ".join(labels))
+    if report.notes:
+        lines.append("")
+        lines.append(f"Note: {report.notes}")
+    return "\n".join(lines)

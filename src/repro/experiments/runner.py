@@ -1,0 +1,112 @@
+"""Experiment orchestration: shared settings, program caches and run caches.
+
+Regenerating every figure of the paper involves hundreds of simulations over
+the same ten programs, so the :class:`ExperimentContext` builds the synthetic
+suite once, caches reference runs per memory latency, and shares the results
+of the groupings experiment between figures 6, 7 and 8 (which the paper also
+derives from the same set of runs).
+
+The :class:`ExperimentSettings` control how much work is done: the defaults
+reproduce every figure in a couple of minutes on a laptop; the benchmark
+harness uses the :meth:`ExperimentSettings.quick` preset, and a full-fidelity
+run (all 25 groups per program, fine latency grid) is available through
+:meth:`ExperimentSettings.full`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.experiments.fixed_workload import FixedWorkload
+from repro.experiments.latency_sweep import CROSSBAR_LATENCIES, DEFAULT_LATENCIES, LatencySweep
+from repro.experiments.multiprogram import GroupingExperiment, GroupingExperimentResult
+from repro.workloads.profiles import BENCHMARK_ORDER
+from repro.workloads.suite import build_suite
+from repro.workloads.program import Program
+
+__all__ = ["ExperimentContext", "ExperimentSettings"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs controlling how much simulation work the experiments perform."""
+
+    scale: float = 0.3
+    memory_latency: int = 50
+    reference_latencies: tuple[int, ...] = (1, 20, 70, 100)
+    sweep_latencies: tuple[int, ...] = DEFAULT_LATENCIES
+    crossbar_latencies: tuple[int, ...] = CROSSBAR_LATENCIES
+    context_counts: tuple[int, ...] = (2, 3, 4)
+    grouping_programs: tuple[str, ...] = BENCHMARK_ORDER
+    max_groups_per_size: int | None = 2
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """A reduced preset used by the automated benchmark harness."""
+        return cls(
+            scale=0.15,
+            reference_latencies=(1, 70),
+            sweep_latencies=(1, 50, 100),
+            crossbar_latencies=(1, 50, 100),
+            grouping_programs=("swm256", "hydro2d", "flo52", "tomcatv", "trfd", "dyfesm"),
+            max_groups_per_size=1,
+        )
+
+    @classmethod
+    def full(cls) -> "ExperimentSettings":
+        """The full-fidelity preset (all groups, fine latency grid)."""
+        return cls(
+            scale=1.0,
+            reference_latencies=(1, 20, 70, 100),
+            sweep_latencies=(1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+            crossbar_latencies=(1, 10, 30, 50, 70, 90, 100),
+            max_groups_per_size=None,
+        )
+
+    def with_scale(self, scale: float) -> "ExperimentSettings":
+        """A copy of these settings with a different workload scale."""
+        return replace(self, scale=scale)
+
+
+class ExperimentContext:
+    """Shared state for regenerating the paper's tables and figures."""
+
+    def __init__(self, settings: ExperimentSettings | None = None) -> None:
+        self.settings = settings or ExperimentSettings()
+        self._programs: dict[str, Program] | None = None
+        self._grouping_results: dict[int, GroupingExperimentResult] = {}
+        self._fixed_workload: FixedWorkload | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def programs(self) -> dict[str, Program]:
+        """The synthetic benchmark suite at the configured scale (built once)."""
+        if self._programs is None:
+            self._programs = build_suite(scale=self.settings.scale)
+        return self._programs
+
+    @property
+    def fixed_workload(self) -> FixedWorkload:
+        """The ten-program fixed workload of section 7."""
+        if self._fixed_workload is None:
+            self._fixed_workload = FixedWorkload(self.programs)
+        return self._fixed_workload
+
+    def latency_sweep(self) -> LatencySweep:
+        """A latency sweep over the fixed workload."""
+        return LatencySweep(self.fixed_workload)
+
+    # ------------------------------------------------------------------ #
+    def grouping_results(self, memory_latency: int | None = None) -> GroupingExperimentResult:
+        """The groupings experiment at one memory latency (cached; shared by figs 6-8)."""
+        latency = memory_latency if memory_latency is not None else self.settings.memory_latency
+        if latency not in self._grouping_results:
+            experiment = GroupingExperiment(
+                self.programs,
+                memory_latency=latency,
+                max_groups_per_size=self.settings.max_groups_per_size,
+            )
+            self._grouping_results[latency] = experiment.run(
+                list(self.settings.grouping_programs)
+            )
+        return self._grouping_results[latency]

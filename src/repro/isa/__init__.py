@@ -1,0 +1,58 @@
+"""Instruction-set model of the Convex C3400-style vector architecture."""
+
+from repro.isa.assembler import (
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import ExecutionResource, OpClass, Opcode, OpcodeInfo
+from repro.isa.registers import (
+    MAX_VECTOR_LENGTH,
+    NUM_ADDRESS_REGISTERS,
+    NUM_SCALAR_REGISTERS,
+    NUM_VECTOR_BANKS,
+    NUM_VECTOR_REGISTERS,
+    READ_PORTS_PER_BANK,
+    REGISTERS_PER_BANK,
+    WRITE_PORTS_PER_BANK,
+    Register,
+    RegisterClass,
+    A,
+    S,
+    V,
+    VL,
+    VS,
+    all_registers,
+    vector_bank_of,
+)
+
+__all__ = [
+    "A",
+    "S",
+    "V",
+    "VL",
+    "VS",
+    "ExecutionResource",
+    "Instruction",
+    "MAX_VECTOR_LENGTH",
+    "NUM_ADDRESS_REGISTERS",
+    "NUM_SCALAR_REGISTERS",
+    "NUM_VECTOR_BANKS",
+    "NUM_VECTOR_REGISTERS",
+    "OpClass",
+    "Opcode",
+    "OpcodeInfo",
+    "READ_PORTS_PER_BANK",
+    "REGISTERS_PER_BANK",
+    "Register",
+    "RegisterClass",
+    "WRITE_PORTS_PER_BANK",
+    "all_registers",
+    "decode_instruction",
+    "decode_program",
+    "encode_instruction",
+    "encode_program",
+    "vector_bank_of",
+]

@@ -1,0 +1,138 @@
+"""A tiny two-way assembler for the modeled ISA.
+
+The textual format is used by the trace encoder, by examples and by tests; it
+is intentionally simple and round-trips exactly through
+:func:`encode_instruction` / :func:`decode_instruction`::
+
+    vadd v2, v0, v1 !vl=128
+    vload v0 !vl=64 !stride=8 !addr=0x1000
+    st.s s3, a1 !addr=0x2000
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblyError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Register
+
+__all__ = ["encode_instruction", "decode_instruction", "encode_program", "decode_program"]
+
+
+def encode_instruction(instruction: Instruction) -> str:
+    """Serialize one instruction into its textual assembly form."""
+    parts: list[str] = [instruction.opcode.value]
+    operands: list[str] = []
+    if instruction.dest is not None:
+        operands.append(instruction.dest.name)
+    operands.extend(reg.name for reg in instruction.srcs)
+    if operands:
+        parts.append(", ".join(operands))
+    attributes: list[str] = []
+    if instruction.vl is not None:
+        attributes.append(f"!vl={instruction.vl}")
+    if instruction.stride is not None:
+        attributes.append(f"!stride={instruction.stride}")
+    if instruction.address is not None:
+        attributes.append(f"!addr={instruction.address:#x}")
+    if instruction.imm is not None:
+        attributes.append(f"!imm={instruction.imm!r}")
+    if instruction.pc:
+        attributes.append(f"!pc={instruction.pc}")
+    return " ".join(parts + attributes)
+
+
+def _parse_attribute(token: str) -> tuple[str, str]:
+    if not token.startswith("!") or "=" not in token:
+        raise AssemblyError(f"malformed attribute token {token!r}")
+    key, _, value = token[1:].partition("=")
+    return key, value
+
+
+def decode_instruction(text: str) -> Instruction:
+    """Parse one line of textual assembly back into an :class:`Instruction`."""
+    line = text.split(";", 1)[0].strip()
+    if not line:
+        raise AssemblyError("cannot decode an empty assembly line")
+    tokens = line.split()
+    mnemonic = tokens[0]
+    try:
+        opcode = Opcode.from_mnemonic(mnemonic)
+    except KeyError as exc:
+        raise AssemblyError(str(exc)) from exc
+
+    operand_tokens: list[str] = []
+    attribute_tokens: list[str] = []
+    for token in tokens[1:]:
+        if token.startswith("!"):
+            attribute_tokens.append(token)
+        else:
+            operand_tokens.append(token)
+    operand_text = " ".join(operand_tokens)
+    operands = [tok.strip() for tok in operand_text.split(",") if tok.strip()]
+
+    try:
+        registers = [Register.parse(tok) for tok in operands]
+    except Exception as exc:
+        raise AssemblyError(f"cannot parse operands of {text!r}: {exc}") from exc
+
+    info = opcode.info
+    dest: Register | None = None
+    srcs: tuple[Register, ...]
+    if info.has_dest:
+        if not registers:
+            raise AssemblyError(f"{mnemonic} requires a destination register: {text!r}")
+        dest = registers[0]
+        srcs = tuple(registers[1:])
+    else:
+        srcs = tuple(registers)
+
+    vl: int | None = None
+    stride: int | None = None
+    address: int | None = None
+    imm: float | int | None = None
+    pc = 0
+    for token in attribute_tokens:
+        key, value = _parse_attribute(token)
+        if key == "vl":
+            vl = int(value)
+        elif key == "stride":
+            stride = int(value)
+        elif key == "addr":
+            address = int(value, 0)
+        elif key == "imm":
+            imm = float(value) if ("." in value or "e" in value.lower()) else int(value)
+        elif key == "pc":
+            pc = int(value)
+        else:
+            raise AssemblyError(f"unknown attribute {key!r} in {text!r}")
+
+    try:
+        return Instruction(
+            opcode,
+            dest=dest,
+            srcs=srcs,
+            vl=vl,
+            stride=stride,
+            address=address,
+            imm=imm,
+            pc=pc,
+        )
+    except Exception as exc:
+        raise AssemblyError(f"cannot build instruction from {text!r}: {exc}") from exc
+
+
+def encode_program(instructions: list[Instruction]) -> str:
+    """Serialize a whole instruction sequence, one instruction per line."""
+    return "\n".join(encode_instruction(instr) for instr in instructions)
+
+
+def decode_program(text: str) -> list[Instruction]:
+    """Parse a multi-line assembly listing, skipping blanks and comments."""
+    instructions: list[Instruction] = []
+    for line in text.splitlines():
+        stripped = line.split(";", 1)[0].strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        instructions.append(decode_instruction(stripped))
+    return instructions

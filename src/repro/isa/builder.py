@@ -1,0 +1,134 @@
+"""Convenience constructors for building :class:`~repro.isa.instruction.Instruction`.
+
+These helpers are used heavily by the workload kernels; they keep instruction
+construction short and enforce the operand shapes each opcode expects.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Register
+
+__all__ = [
+    "vload",
+    "vstore",
+    "vgather",
+    "vscatter",
+    "vadd",
+    "vsub",
+    "vmul",
+    "vdiv",
+    "vsqrt",
+    "vlogic",
+    "vmov",
+    "vreduce",
+    "vsetvl",
+    "vsetvs",
+    "scalar_op",
+    "scalar_load",
+    "scalar_store",
+    "branch",
+    "nop",
+]
+
+
+def vload(dest: Register, *, vl: int, address: int = 0, stride: int = 1) -> Instruction:
+    """Strided vector load into ``dest``."""
+    return Instruction(Opcode.VLOAD, dest=dest, vl=vl, address=address, stride=stride)
+
+
+def vstore(src: Register, addr_reg: Register, *, vl: int, address: int = 0, stride: int = 1) -> Instruction:
+    """Strided vector store of ``src`` (address computed from ``addr_reg``)."""
+    return Instruction(
+        Opcode.VSTORE, srcs=(src, addr_reg), vl=vl, address=address, stride=stride
+    )
+
+
+def vgather(dest: Register, index: Register, *, vl: int, address: int = 0) -> Instruction:
+    """Indexed vector load (gather) into ``dest`` using index vector ``index``."""
+    return Instruction(Opcode.VGATHER, dest=dest, srcs=(index,), vl=vl, address=address)
+
+
+def vscatter(src: Register, index: Register, addr_reg: Register, *, vl: int, address: int = 0) -> Instruction:
+    """Indexed vector store (scatter) of ``src`` using index vector ``index``."""
+    return Instruction(
+        Opcode.VSCATTER, srcs=(src, index, addr_reg), vl=vl, address=address
+    )
+
+
+def vadd(dest: Register, a: Register, b: Register, *, vl: int) -> Instruction:
+    """Vector addition ``dest = a + b``."""
+    return Instruction(Opcode.VADD, dest=dest, srcs=(a, b), vl=vl)
+
+
+def vsub(dest: Register, a: Register, b: Register, *, vl: int) -> Instruction:
+    """Vector subtraction ``dest = a - b``."""
+    return Instruction(Opcode.VSUB, dest=dest, srcs=(a, b), vl=vl)
+
+
+def vmul(dest: Register, a: Register, b: Register, *, vl: int) -> Instruction:
+    """Vector multiplication ``dest = a * b`` (FU2 only)."""
+    return Instruction(Opcode.VMUL, dest=dest, srcs=(a, b), vl=vl)
+
+
+def vdiv(dest: Register, a: Register, b: Register, *, vl: int) -> Instruction:
+    """Vector division ``dest = a / b`` (FU2 only)."""
+    return Instruction(Opcode.VDIV, dest=dest, srcs=(a, b), vl=vl)
+
+
+def vsqrt(dest: Register, a: Register, *, vl: int) -> Instruction:
+    """Vector square root ``dest = sqrt(a)`` (FU2 only)."""
+    return Instruction(Opcode.VSQRT, dest=dest, srcs=(a,), vl=vl)
+
+
+def vlogic(dest: Register, a: Register, b: Register, *, vl: int, opcode: Opcode = Opcode.VAND) -> Instruction:
+    """Vector logical/shift operation (defaults to ``vand``)."""
+    return Instruction(opcode, dest=dest, srcs=(a, b), vl=vl)
+
+
+def vmov(dest: Register, src: Register, *, vl: int) -> Instruction:
+    """Vector register move ``dest = src``."""
+    return Instruction(Opcode.VMOV, dest=dest, srcs=(src,), vl=vl)
+
+
+def vreduce(dest: Register, src: Register, *, vl: int) -> Instruction:
+    """Sum reduction of vector ``src`` into scalar register ``dest``."""
+    return Instruction(Opcode.VREDUCE, dest=dest, srcs=(src,), vl=vl)
+
+
+def vsetvl(dest: Register, value: int) -> Instruction:
+    """Set the vector length register (modeled as writing VL)."""
+    return Instruction(Opcode.VSETVL, dest=dest, imm=value)
+
+
+def vsetvs(dest: Register, value: int) -> Instruction:
+    """Set the vector stride register (modeled as writing VS)."""
+    return Instruction(Opcode.VSETVS, dest=dest, imm=value)
+
+
+def scalar_op(opcode: Opcode, dest: Register, *srcs: Register, imm: float | int | None = None) -> Instruction:
+    """Generic scalar arithmetic instruction."""
+    return Instruction(opcode, dest=dest, srcs=tuple(srcs), imm=imm)
+
+
+def scalar_load(dest: Register, *, address: int = 0, opcode: Opcode = Opcode.LD_S) -> Instruction:
+    """Scalar load of ``dest`` from ``address``."""
+    return Instruction(opcode, dest=dest, address=address)
+
+
+def scalar_store(src: Register, addr_reg: Register, *, address: int = 0, opcode: Opcode = Opcode.ST_S) -> Instruction:
+    """Scalar store of ``src`` to ``address``."""
+    return Instruction(opcode, srcs=(src, addr_reg), address=address)
+
+
+def branch(cond: Register | None = None) -> Instruction:
+    """Branch instruction; conditional when ``cond`` is given."""
+    if cond is None:
+        return Instruction(Opcode.BR)
+    return Instruction(Opcode.BR_COND, srcs=(cond,))
+
+
+def nop() -> Instruction:
+    """A no-operation instruction."""
+    return Instruction(Opcode.NOP)

@@ -1,0 +1,218 @@
+"""The :class:`Instruction` record consumed by the cycle-level simulators.
+
+An :class:`Instruction` is a *dynamic* instruction: one element of the trace
+fed into the simulator.  It therefore carries not only the opcode and operand
+registers but also the execution-time values of the vector length and stride
+registers (the paper's Dixie tool records these as separate trace streams) and
+the base address of memory operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import IsaError
+from repro.isa.opcodes import ExecutionResource, OpClass, Opcode
+from repro.isa.registers import MAX_VECTOR_LENGTH, Register, RegisterClass
+
+__all__ = ["Instruction"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction of the modeled Convex-C3-style ISA.
+
+    Parameters
+    ----------
+    opcode:
+        The operation to perform.
+    dest:
+        Destination register, or ``None`` for stores, branches and NOPs.
+    srcs:
+        Source registers, in operand order.
+    vl:
+        Effective vector length for vector instructions (1..128).  ``None``
+        for scalar instructions.
+    stride:
+        Effective vector stride (in elements) for strided memory operations.
+    address:
+        Base address of memory operations (byte address).
+    imm:
+        Immediate operand, if any (used by ``vsetvl``, address updates, ...).
+    pc:
+        Static program counter / unique id of the instruction inside its
+        program.  Used only for reporting and tracing.
+    """
+
+    opcode: Opcode
+    dest: Register | None = None
+    srcs: tuple[Register, ...] = field(default_factory=tuple)
+    vl: int | None = None
+    stride: int | None = None
+    address: int | None = None
+    imm: float | int | None = None
+    pc: int = 0
+
+    def __post_init__(self) -> None:
+        info = self.opcode.info
+        if info.has_dest and self.dest is None:
+            raise IsaError(f"opcode {self.opcode.value} requires a destination register")
+        if not info.has_dest and self.dest is not None:
+            raise IsaError(f"opcode {self.opcode.value} does not take a destination register")
+        if self.opcode.is_vector and self.op_class is not OpClass.VECTOR_CONTROL:
+            vl = self.vl
+            if vl is None:
+                raise IsaError(
+                    f"vector opcode {self.opcode.value} requires an effective vector length"
+                )
+            if not 1 <= vl <= MAX_VECTOR_LENGTH:
+                raise IsaError(
+                    f"vector length {vl} out of range 1..{MAX_VECTOR_LENGTH}"
+                )
+        if self.opcode.is_memory and self.address is not None and self.address < 0:
+            raise IsaError("memory operations require a non-negative base address")
+
+    # ------------------------------------------------------------------ #
+    # classification helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def op_class(self) -> OpClass:
+        """The :class:`OpClass` of this instruction."""
+        return self.opcode.op_class
+
+    @property
+    def resource(self) -> ExecutionResource:
+        """The execution resource this instruction occupies."""
+        return self.op_class.resource
+
+    @property
+    def is_vector(self) -> bool:
+        """Whether the instruction is dispatched to the vector part."""
+        return self.opcode.is_vector
+
+    @property
+    def is_vector_arithmetic(self) -> bool:
+        """Whether the instruction executes on FU1 or FU2."""
+        return self.resource is ExecutionResource.VECTOR_ARITHMETIC
+
+    @property
+    def is_vector_memory(self) -> bool:
+        """Whether the instruction executes on the LD unit."""
+        return self.resource is ExecutionResource.VECTOR_MEMORY
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the instruction uses the memory (address) port at all."""
+        return self.opcode.is_memory
+
+    @property
+    def uses_stride_register(self) -> bool:
+        """Whether the instruction is a *strided* vector memory access.
+
+        Gathers and scatters are indexed (their addresses come from an index
+        vector) and therefore do not read the vector stride register.
+        """
+        return self.op_class in (OpClass.VECTOR_LOAD, OpClass.VECTOR_STORE)
+
+    @property
+    def is_load(self) -> bool:
+        """Whether the instruction reads main memory."""
+        return self.op_class.is_load
+
+    @property
+    def is_store(self) -> bool:
+        """Whether the instruction writes main memory."""
+        return self.op_class.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether the instruction is a control-flow instruction."""
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_scalar(self) -> bool:
+        """Whether the instruction is handled entirely by the scalar unit."""
+        return self.resource is ExecutionResource.SCALAR_UNIT
+
+    # ------------------------------------------------------------------ #
+    # operand / cost helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def element_count(self) -> int:
+        """Number of element operations performed (``vl`` for vector ops, else 1)."""
+        if self.is_vector and self.vl is not None:
+            return self.vl
+        return 1
+
+    @property
+    def memory_transactions(self) -> int:
+        """Number of addresses sent over the single address bus."""
+        if not self.is_memory:
+            return 0
+        return self.element_count
+
+    @property
+    def vector_operations(self) -> int:
+        """Number of vector *arithmetic* operations (the paper's VOPC numerator)."""
+        if self.is_vector_arithmetic and self.vl is not None:
+            return self.vl
+        return 0
+
+    def reads(self) -> tuple[Register, ...]:
+        """Registers read by this instruction."""
+        return self.srcs
+
+    def writes(self) -> tuple[Register, ...]:
+        """Registers written by this instruction."""
+        if self.dest is None:
+            return ()
+        return (self.dest,)
+
+    def vector_sources(self) -> tuple[Register, ...]:
+        """Vector registers among the sources."""
+        return tuple(r for r in self.srcs if r.cls is RegisterClass.VECTOR)
+
+    def scalar_sources(self) -> tuple[Register, ...]:
+        """Non-vector registers among the sources."""
+        return tuple(r for r in self.srcs if r.cls is not RegisterClass.VECTOR)
+
+    def vector_registers_touched(self) -> tuple[Register, ...]:
+        """All vector registers read or written by this instruction."""
+        regs = [r for r in self.srcs if r.cls is RegisterClass.VECTOR]
+        if self.dest is not None and self.dest.cls is RegisterClass.VECTOR:
+            regs.append(self.dest)
+        return tuple(regs)
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def with_vl(self, vl: int) -> "Instruction":
+        """Return a copy of this instruction with a different vector length."""
+        return replace(self, vl=vl)
+
+    def with_pc(self, pc: int) -> "Instruction":
+        """Return a copy of this instruction with a different ``pc``."""
+        return replace(self, pc=pc)
+
+    def with_address(self, address: int) -> "Instruction":
+        """Return a copy of this instruction with a different base address."""
+        return replace(self, address=address)
+
+    def __str__(self) -> str:
+        operands = []
+        if self.dest is not None:
+            operands.append(self.dest.name)
+        operands.extend(src.name for src in self.srcs)
+        text = f"{self.opcode.value} {', '.join(operands)}".strip()
+        extras = []
+        if self.vl is not None:
+            extras.append(f"vl={self.vl}")
+        if self.stride is not None:
+            extras.append(f"stride={self.stride}")
+        if self.address is not None:
+            extras.append(f"addr={self.address:#x}")
+        if self.imm is not None:
+            extras.append(f"imm={self.imm}")
+        if extras:
+            text += "  ; " + " ".join(extras)
+        return text

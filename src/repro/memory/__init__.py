@@ -1,0 +1,18 @@
+"""Memory subsystem models: busses, interleaved banks, latency."""
+
+from repro.memory.banks import BankConflictModel, BankedMemoryStats
+from repro.memory.bus import Bus, BusStats
+from repro.memory.request import AccessKind, MemoryRequest, MemoryTiming
+from repro.memory.system import MemorySystem, MemorySystemStats
+
+__all__ = [
+    "AccessKind",
+    "BankConflictModel",
+    "BankedMemoryStats",
+    "Bus",
+    "BusStats",
+    "MemoryRequest",
+    "MemorySystem",
+    "MemorySystemStats",
+    "MemoryTiming",
+]

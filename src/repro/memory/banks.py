@@ -1,0 +1,107 @@
+"""Interleaved memory-bank model.
+
+The paper's memory model is deliberately simple — after the initial latency a
+vector load "receives one datum per cycle" — because on the real machine the
+interleaved main memory provides enough banks to sustain one access per cycle
+for well-behaved strides.  This module provides an *optional* bank model for
+studies that want to break that assumption: with ``B`` banks of busy time
+``T`` cycles, a stream whose stride hits only ``B / gcd(stride, B)`` distinct
+banks is throttled to the rate those banks can sustain, and gathers with
+pathological index patterns can be modeled through an effective-conflict
+factor.
+
+It is disabled by default (``MachineConfig.model_bank_conflicts = False``) so
+that the headline experiments reproduce the paper's published model exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.request import AccessKind, MemoryRequest
+
+__all__ = ["BankConflictModel", "BankedMemoryStats"]
+
+
+@dataclass
+class BankedMemoryStats:
+    """Aggregate statistics of the bank model."""
+
+    accesses: int = 0
+    conflicted_accesses: int = 0
+    extra_cycles: int = 0
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of vector accesses that suffered bank conflicts."""
+        if self.accesses == 0:
+            return 0.0
+        return self.conflicted_accesses / self.accesses
+
+
+class BankConflictModel:
+    """Computes the element-delivery slowdown caused by bank conflicts.
+
+    Parameters
+    ----------
+    num_banks:
+        Number of interleaved memory banks (power of two on real machines).
+    bank_busy_cycles:
+        Cycles a bank needs to complete one access (SRAM ~4, DRAM ~10+).
+    gather_conflict_factor:
+        Average fraction of an index vector that collides in the same bank
+        window for gathers/scatters (0 = never, 1 = fully serialized).
+    """
+
+    def __init__(
+        self,
+        num_banks: int = 64,
+        bank_busy_cycles: int = 4,
+        gather_conflict_factor: float = 0.1,
+    ) -> None:
+        if num_banks < 1:
+            raise ConfigurationError("the memory needs at least one bank")
+        if bank_busy_cycles < 1:
+            raise ConfigurationError("bank busy time must be at least one cycle")
+        if not 0.0 <= gather_conflict_factor <= 1.0:
+            raise ConfigurationError("gather_conflict_factor must lie in [0, 1]")
+        self.num_banks = num_banks
+        self.bank_busy_cycles = bank_busy_cycles
+        self.gather_conflict_factor = gather_conflict_factor
+        self.stats = BankedMemoryStats()
+
+    # ------------------------------------------------------------------ #
+    def effective_banks(self, stride: int) -> int:
+        """Distinct banks touched by a stream of the given element stride."""
+        stride = abs(stride) or 1
+        return self.num_banks // math.gcd(stride, self.num_banks)
+
+    def slowdown(self, request: MemoryRequest) -> float:
+        """Element-delivery slowdown factor (1.0 = full one-per-cycle rate)."""
+        if not request.kind.is_vector:
+            return 1.0
+        if request.kind.is_indexed:
+            # Gathers hit essentially random banks; a configurable fraction of
+            # the accesses collides within a bank-busy window.
+            collisions = self.gather_conflict_factor * self.bank_busy_cycles
+            return max(1.0, collisions)
+        banks = self.effective_banks(request.stride)
+        if banks >= self.bank_busy_cycles:
+            return 1.0
+        return self.bank_busy_cycles / banks
+
+    def delivery_cycles(self, request: MemoryRequest) -> int:
+        """Cycles needed to stream all elements of the request from the banks."""
+        slowdown = self.slowdown(request)
+        cycles = math.ceil(request.elements * slowdown)
+        self.stats.accesses += 1
+        if cycles > request.elements:
+            self.stats.conflicted_accesses += 1
+            self.stats.extra_cycles += cycles - request.elements
+        return cycles
+
+    def reset(self) -> None:
+        """Clear accumulated statistics."""
+        self.stats = BankedMemoryStats()

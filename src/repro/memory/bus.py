@@ -1,0 +1,76 @@
+"""Bus models: the single shared address bus and the two data busses.
+
+The modeled memory interface follows the Convex C-series description used by
+the paper (section 3.1): *"We have a single address bus shared by all types of
+memory transactions (scalar/vector and load/store), and physically separate
+data busses for sending and receiving data to/from main memory."*
+
+Each bus is a simple serially-reusable resource: a transaction reserves a
+contiguous window of cycles, and the bus keeps aggregate busy statistics that
+the experiment harness turns into the memory-port occupation metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["Bus", "BusStats"]
+
+
+@dataclass
+class BusStats:
+    """Aggregate usage statistics of one bus."""
+
+    busy_cycles: int = 0
+    transactions: int = 0
+    last_busy_cycle: int = 0
+
+    def occupancy(self, total_cycles: int) -> float:
+        """Fraction of ``total_cycles`` during which the bus was busy."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)
+
+
+class Bus:
+    """A serially-reusable bus that transfers one item per cycle."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._free_at = 0
+        self.stats = BusStats()
+
+    @property
+    def free_at(self) -> int:
+        """First cycle at which the bus can accept a new transaction."""
+        return self._free_at
+
+    def reserve(self, earliest: int, cycles: int) -> int:
+        """Reserve ``cycles`` consecutive cycles starting no earlier than ``earliest``.
+
+        Returns the actual start cycle (``>= earliest``).  The bus transfers
+        one item per cycle, so a vector transaction of *n* elements reserves
+        *n* cycles.
+        """
+        if cycles < 0:
+            raise SimulationError(f"bus {self.name}: cannot reserve {cycles} cycles")
+        if earliest < 0:
+            raise SimulationError(f"bus {self.name}: negative start cycle {earliest}")
+        if cycles == 0:
+            return max(earliest, self._free_at)
+        start = max(earliest, self._free_at)
+        self._free_at = start + cycles
+        self.stats.busy_cycles += cycles
+        self.stats.transactions += 1
+        self.stats.last_busy_cycle = self._free_at - 1
+        return start
+
+    def reset(self) -> None:
+        """Clear reservations and statistics (used between simulation runs)."""
+        self._free_at = 0
+        self.stats = BusStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bus({self.name!r}, free_at={self._free_at}, busy={self.stats.busy_cycles})"

@@ -1,0 +1,93 @@
+"""Memory request and timing records exchanged between the CPU and memory."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["AccessKind", "MemoryRequest", "MemoryTiming"]
+
+
+class AccessKind(enum.Enum):
+    """The kinds of memory transactions the modeled machine issues."""
+
+    VECTOR_LOAD = "vector_load"
+    VECTOR_STORE = "vector_store"
+    VECTOR_GATHER = "vector_gather"
+    VECTOR_SCATTER = "vector_scatter"
+    SCALAR_LOAD = "scalar_load"
+    SCALAR_STORE = "scalar_store"
+
+    @property
+    def is_load(self) -> bool:
+        """Whether the access reads main memory."""
+        return self in (
+            AccessKind.VECTOR_LOAD,
+            AccessKind.VECTOR_GATHER,
+            AccessKind.SCALAR_LOAD,
+        )
+
+    @property
+    def is_vector(self) -> bool:
+        """Whether the access is a vector (multi-element) transaction."""
+        return self in (
+            AccessKind.VECTOR_LOAD,
+            AccessKind.VECTOR_STORE,
+            AccessKind.VECTOR_GATHER,
+            AccessKind.VECTOR_SCATTER,
+        )
+
+    @property
+    def is_indexed(self) -> bool:
+        """Whether the access uses an index vector (gather/scatter)."""
+        return self in (AccessKind.VECTOR_GATHER, AccessKind.VECTOR_SCATTER)
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One memory transaction as presented to the memory system."""
+
+    kind: AccessKind
+    elements: int
+    address: int = 0
+    stride: int = 1
+    thread_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.elements < 1:
+            raise ValueError("a memory request must transfer at least one element")
+
+    @property
+    def address_cycles(self) -> int:
+        """Cycles of address-bus occupancy (one address per element)."""
+        return self.elements
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Resolved timing of one memory transaction.
+
+    Attributes
+    ----------
+    start:
+        Cycle at which the first address is driven onto the address bus.
+    address_busy:
+        Number of cycles the address bus is occupied by this transaction.
+    first_element:
+        Cycle at which the first datum is available to the processor
+        (loads) or accepted by memory (stores).
+    completion:
+        Cycle at which the last datum has been delivered/accepted; for loads
+        this is when the destination vector register is fully written.
+    """
+
+    start: int
+    address_busy: int
+    first_element: int
+    completion: int
+
+    def __post_init__(self) -> None:
+        if self.completion < self.first_element:
+            raise ValueError("completion cannot precede the first element")
+        if self.address_busy < 0:
+            raise ValueError("address bus occupancy cannot be negative")

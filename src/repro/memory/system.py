@@ -1,0 +1,179 @@
+"""The main-memory subsystem of the modeled machine.
+
+Timing rules (paper, section 3.1):
+
+* one address bus shared by every memory transaction, one address per cycle;
+* separate data busses for sending (stores) and receiving (loads);
+* a vector load (and gather) pays the configured *memory latency* once and
+  then receives one datum per cycle;
+* a vector store pays no latency — the processor streams the data out and
+  does not wait for the writes to complete;
+* scalar loads pay the same latency for their single datum; scalar stores
+  complete as soon as their address and datum are sent.
+
+The :class:`MemorySystem` owns the busses (and the optional bank-conflict
+model) and converts a :class:`~repro.memory.request.MemoryRequest` plus an
+earliest start cycle into a :class:`~repro.memory.request.MemoryTiming`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.banks import BankConflictModel
+from repro.memory.bus import Bus
+from repro.memory.request import AccessKind, MemoryRequest, MemoryTiming
+
+__all__ = ["MemorySystem", "MemorySystemStats"]
+
+
+@dataclass
+class MemorySystemStats:
+    """Aggregate transaction counts of the memory system."""
+
+    vector_loads: int = 0
+    vector_stores: int = 0
+    gathers: int = 0
+    scatters: int = 0
+    scalar_loads: int = 0
+    scalar_stores: int = 0
+    elements_loaded: int = 0
+    elements_stored: int = 0
+
+    @property
+    def total_transactions(self) -> int:
+        """Total number of memory instructions processed."""
+        return (
+            self.vector_loads
+            + self.vector_stores
+            + self.gathers
+            + self.scatters
+            + self.scalar_loads
+            + self.scalar_stores
+        )
+
+
+class MemorySystem:
+    """Cycle-level timing model of the machine's main memory interface."""
+
+    def __init__(
+        self,
+        latency: int = 50,
+        *,
+        bank_model: BankConflictModel | None = None,
+        num_ports: int = 1,
+    ) -> None:
+        if latency < 0:
+            raise ConfigurationError(f"memory latency cannot be negative, got {latency}")
+        if num_ports < 1:
+            raise ConfigurationError("the memory system needs at least one address port")
+        self.latency = latency
+        self.address_buses = [Bus(f"address-{index}") for index in range(num_ports)]
+        self.load_data_bus = Bus("load-data")
+        self.store_data_bus = Bus("store-data")
+        self.bank_model = bank_model
+        self.stats = MemorySystemStats()
+
+    @property
+    def num_ports(self) -> int:
+        """Number of address ports (1 on the Convex-style machine, 3 on Cray-style)."""
+        return len(self.address_buses)
+
+    @property
+    def address_bus(self) -> Bus:
+        """The first address port (the only one on the reference machine)."""
+        return self.address_buses[0]
+
+    # ------------------------------------------------------------------ #
+    def _delivery_cycles(self, request: MemoryRequest) -> int:
+        if self.bank_model is None:
+            return request.elements
+        return self.bank_model.delivery_cycles(request)
+
+    def _count(self, request: MemoryRequest) -> None:
+        kind = request.kind
+        if kind is AccessKind.VECTOR_LOAD:
+            self.stats.vector_loads += 1
+            self.stats.elements_loaded += request.elements
+        elif kind is AccessKind.VECTOR_STORE:
+            self.stats.vector_stores += 1
+            self.stats.elements_stored += request.elements
+        elif kind is AccessKind.VECTOR_GATHER:
+            self.stats.gathers += 1
+            self.stats.elements_loaded += request.elements
+        elif kind is AccessKind.VECTOR_SCATTER:
+            self.stats.scatters += 1
+            self.stats.elements_stored += request.elements
+        elif kind is AccessKind.SCALAR_LOAD:
+            self.stats.scalar_loads += 1
+            self.stats.elements_loaded += 1
+        else:
+            self.stats.scalar_stores += 1
+            self.stats.elements_stored += 1
+
+    # ------------------------------------------------------------------ #
+    def schedule(self, request: MemoryRequest, earliest: int) -> MemoryTiming:
+        """Schedule one memory transaction, reserving the busses it needs.
+
+        Parameters
+        ----------
+        request:
+            The transaction (kind, element count, stride).
+        earliest:
+            First cycle at which the processor could drive the first address.
+
+        Returns
+        -------
+        MemoryTiming
+            Start cycle, address-bus occupancy, first-datum cycle and
+            completion cycle of the transaction.
+        """
+        self._count(request)
+        delivery = self._delivery_cycles(request)
+        address_cycles = request.address_cycles
+        bus = min(self.address_buses, key=lambda candidate: max(earliest, candidate.free_at))
+        start = bus.reserve(earliest, address_cycles)
+
+        if request.kind.is_load:
+            first_datum = start + self.latency + 1
+            completion = first_datum + delivery - 1
+            self.load_data_bus.reserve(first_datum, delivery)
+        else:
+            # Stores stream data out alongside the addresses and never wait
+            # for the write acknowledgement.
+            first_datum = start
+            completion = start + delivery - 1
+            self.store_data_bus.reserve(start, delivery)
+        return MemoryTiming(
+            start=start,
+            address_busy=address_cycles,
+            first_element=first_datum,
+            completion=completion,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address_port_busy_cycles(self) -> int:
+        """Total busy cycles summed over all address ports."""
+        return sum(bus.stats.busy_cycles for bus in self.address_buses)
+
+    def port_occupancy(self, total_cycles: int) -> float:
+        """Memory-port occupation metric of the paper (section 6.2).
+
+        With more than one port this is the average occupation across ports,
+        so the metric stays in [0, 1].
+        """
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.address_port_busy_cycles / (total_cycles * self.num_ports))
+
+    def reset(self) -> None:
+        """Clear all reservations and statistics (between simulation runs)."""
+        for bus in self.address_buses:
+            bus.reset()
+        self.load_data_bus.reset()
+        self.store_data_bus.reset()
+        if self.bank_model is not None:
+            self.bank_model.reset()
+        self.stats = MemorySystemStats()

@@ -1,0 +1,19 @@
+"""Trace infrastructure: the Dixie-substitute tracing pipeline of figure 2."""
+
+from repro.trace.dixie import Dixie, trace_program
+from repro.trace.encoder import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.trace.records import TraceSet, TraceSummary
+from repro.trace.stream import TraceStream, instructions_from_trace
+
+__all__ = [
+    "Dixie",
+    "TraceSet",
+    "TraceStream",
+    "TraceSummary",
+    "dump_trace",
+    "dumps_trace",
+    "instructions_from_trace",
+    "load_trace",
+    "loads_trace",
+    "trace_program",
+]

@@ -1,0 +1,56 @@
+"""Dixie substitute: instrument a program and produce its execution traces.
+
+The original Dixie processes Convex executables; our substitute processes
+:class:`~repro.workloads.program.Program` objects, but produces exactly the
+four trace streams the paper describes (basic-block trace, vector-length
+trace, stride trace and memory-reference trace).  The dynamic instruction
+stream reconstructed from those traces is bit-for-bit identical to the
+program's own expansion, which the test suite verifies — the simulators can
+therefore consume either form interchangeably, just like the paper's
+simulators consume Dixie traces.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.trace.records import TraceSet
+from repro.workloads.program import Program
+
+__all__ = ["Dixie", "trace_program"]
+
+
+class Dixie:
+    """Trace generator for synthetic programs (stand-in for the Dixie tool)."""
+
+    def __init__(self, *, validate: bool = True) -> None:
+        self._validate = validate
+
+    def instrument(self, program: Program) -> TraceSet:
+        """Run the program's dynamic expansion and capture the four traces.
+
+        This corresponds to steps (a) and (b) of the paper's figure 2: the
+        executable is instrumented and then run once on the host machine to
+        produce traces that fully describe its execution.
+        """
+        basic_blocks = tuple(program.basic_blocks())
+        trace = TraceSet(program_name=program.name, basic_blocks=basic_blocks)
+        trace.block_trace.extend(program.iter_block_ids())
+        for instruction in program.instructions():
+            if instruction.is_vector_arithmetic or instruction.is_vector_memory:
+                if instruction.vl is None:
+                    raise TraceError(
+                        f"vector instruction without vector length: {instruction}"
+                    )
+                trace.vl_trace.append(instruction.vl)
+            if instruction.uses_stride_register:
+                trace.stride_trace.append(instruction.stride or 1)
+            if instruction.is_memory:
+                trace.memref_trace.append(instruction.address or 0)
+        if self._validate:
+            trace.validate()
+        return trace
+
+
+def trace_program(program: Program) -> TraceSet:
+    """Convenience wrapper: instrument ``program`` with default settings."""
+    return Dixie().instrument(program)

@@ -1,0 +1,149 @@
+"""Serialization of trace sets to a compact, line-oriented text format.
+
+The original Dixie writes its four traces as separate files; we bundle them
+into a single self-describing text document (easier to ship in a repository
+and to inspect by hand) with one section per stream::
+
+    %program swm256
+    %blocks
+    <block_id> <name>
+    <assembly line>
+    ...
+    %block-trace
+    0 1 0 1 2 ...
+    %vl-trace
+    128 128 64 ...
+    %stride-trace
+    1 1 8 ...
+    %memref-trace
+    0x10000000 0x10000400 ...
+
+Numbers in the dynamic sections are whitespace-separated and wrapped at a
+fixed width purely for readability.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from textwrap import wrap
+
+from repro.errors import TraceError
+from repro.isa.assembler import decode_instruction, encode_instruction
+from repro.trace.records import TraceSet
+from repro.workloads.program import BasicBlock
+
+__all__ = ["dump_trace", "dumps_trace", "load_trace", "loads_trace"]
+
+_NUMBERS_PER_LINE_WIDTH = 100
+
+
+def _format_numbers(values: list[int], *, hexadecimal: bool = False) -> str:
+    if not values:
+        return ""
+    rendered = [hex(value) if hexadecimal else str(value) for value in values]
+    return "\n".join(wrap(" ".join(rendered), width=_NUMBERS_PER_LINE_WIDTH))
+
+
+def dumps_trace(trace: TraceSet) -> str:
+    """Serialize a :class:`TraceSet` into its textual representation."""
+    lines: list[str] = [f"%program {trace.program_name}", "%blocks"]
+    for block in trace.basic_blocks:
+        lines.append(f"@block {block.block_id} {block.name}")
+        lines.extend(encode_instruction(instr) for instr in block.instructions)
+    lines.append("%block-trace")
+    lines.append(_format_numbers(trace.block_trace))
+    lines.append("%vl-trace")
+    lines.append(_format_numbers(trace.vl_trace))
+    lines.append("%stride-trace")
+    lines.append(_format_numbers(trace.stride_trace))
+    lines.append("%memref-trace")
+    lines.append(_format_numbers(trace.memref_trace, hexadecimal=True))
+    return "\n".join(lines) + "\n"
+
+
+def dump_trace(trace: TraceSet, path: str | Path) -> Path:
+    """Write a trace set to ``path`` and return the path."""
+    destination = Path(path)
+    destination.write_text(dumps_trace(trace), encoding="utf-8")
+    return destination
+
+
+def _parse_numbers(lines: list[str]) -> list[int]:
+    values: list[int] = []
+    for line in lines:
+        for token in line.split():
+            values.append(int(token, 0))
+    return values
+
+
+def loads_trace(text: str) -> TraceSet:
+    """Parse the textual representation back into a :class:`TraceSet`."""
+    program_name = ""
+    sections: dict[str, list[str]] = {}
+    current: list[str] | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if line.startswith("%program"):
+            program_name = line.split(maxsplit=1)[1] if " " in line else ""
+            continue
+        if line.startswith("%"):
+            current = sections.setdefault(line[1:], [])
+            continue
+        if current is None:
+            raise TraceError(f"unexpected content before first section: {line!r}")
+        current.append(line)
+
+    for required in ("blocks", "block-trace", "vl-trace", "stride-trace", "memref-trace"):
+        if required not in sections:
+            raise TraceError(f"trace document is missing the %{required} section")
+
+    blocks: list[BasicBlock] = []
+    block_id: int | None = None
+    block_name = ""
+    block_instructions: list = []
+
+    def flush_block() -> None:
+        nonlocal block_id, block_name, block_instructions
+        if block_id is not None:
+            blocks.append(
+                BasicBlock(
+                    block_id=block_id,
+                    name=block_name,
+                    instructions=tuple(block_instructions),
+                )
+            )
+        block_id = None
+        block_name = ""
+        block_instructions = []
+
+    for line in sections["blocks"]:
+        if line.startswith("@block"):
+            flush_block()
+            parts = line.split(maxsplit=2)
+            if len(parts) < 2:
+                raise TraceError(f"malformed block header {line!r}")
+            block_id = int(parts[1])
+            block_name = parts[2] if len(parts) > 2 else f"block{block_id}"
+        else:
+            if block_id is None:
+                raise TraceError(f"instruction outside of a block: {line!r}")
+            block_instructions.append(decode_instruction(line))
+    flush_block()
+
+    trace = TraceSet(
+        program_name=program_name,
+        basic_blocks=tuple(blocks),
+        block_trace=_parse_numbers(sections["block-trace"]),
+        vl_trace=_parse_numbers(sections["vl-trace"]),
+        stride_trace=_parse_numbers(sections["stride-trace"]),
+        memref_trace=_parse_numbers(sections["memref-trace"]),
+    )
+    trace.validate()
+    return trace
+
+
+def load_trace(path: str | Path) -> TraceSet:
+    """Read a trace set previously written by :func:`dump_trace`."""
+    return loads_trace(Path(path).read_text(encoding="utf-8"))

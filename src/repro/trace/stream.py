@@ -1,0 +1,66 @@
+"""Reconstruction of dynamic instruction streams from trace sets.
+
+This is step (c) of the paper's figure 2: the traces produced by Dixie are
+fed to the simulators, which perform a cycle-by-cycle execution.  The
+:class:`TraceStream` walks the basic-block trace and re-attaches the dynamic
+vector-length, stride and address values to each static instruction, yielding
+the dynamic :class:`~repro.isa.instruction.Instruction` sequence the
+simulators consume.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import replace
+
+from repro.errors import TraceError
+from repro.isa.instruction import Instruction
+from repro.trace.records import TraceSet
+
+__all__ = ["TraceStream", "instructions_from_trace"]
+
+
+class TraceStream:
+    """Iterator over the dynamic instructions described by a :class:`TraceSet`."""
+
+    def __init__(self, trace: TraceSet) -> None:
+        self._trace = trace
+        self._blocks = {block.block_id: block for block in trace.basic_blocks}
+
+    def __iter__(self) -> Iterator[Instruction]:
+        vl_iter = iter(self._trace.vl_trace)
+        stride_iter = iter(self._trace.stride_trace)
+        memref_iter = iter(self._trace.memref_trace)
+        pc = 0
+        for block_id in self._trace.block_trace:
+            block = self._blocks.get(block_id)
+            if block is None:
+                raise TraceError(f"trace references unknown basic block id {block_id}")
+            for template in block.instructions:
+                instruction = template
+                changes: dict[str, object] = {"pc": pc}
+                if instruction.is_vector_arithmetic or instruction.is_vector_memory:
+                    try:
+                        changes["vl"] = next(vl_iter)
+                    except StopIteration as exc:
+                        raise TraceError("vector-length trace exhausted early") from exc
+                if instruction.uses_stride_register:
+                    try:
+                        changes["stride"] = next(stride_iter)
+                    except StopIteration as exc:
+                        raise TraceError("stride trace exhausted early") from exc
+                if instruction.is_memory:
+                    try:
+                        changes["address"] = next(memref_iter)
+                    except StopIteration as exc:
+                        raise TraceError("memory-reference trace exhausted early") from exc
+                yield replace(instruction, **changes)
+                pc += 1
+
+    def __len__(self) -> int:
+        return sum(self._blocks[block_id].size for block_id in self._trace.block_trace)
+
+
+def instructions_from_trace(trace: TraceSet) -> Iterator[Instruction]:
+    """Yield the dynamic instruction stream described by ``trace``."""
+    return iter(TraceStream(trace))

@@ -1,0 +1,59 @@
+"""Synthetic workload generation: the Perfect Club / Specfp92 analogues."""
+
+from repro.workloads.generator import LoopSpec, WorkloadSpec, build_workload
+from repro.workloads.kernels import KERNELS, Kernel, KernelContext, get_kernel, kernel_names
+from repro.workloads.profiles import (
+    BENCHMARK_ORDER,
+    BENCHMARK_PROFILES,
+    FIXED_WORKLOAD_ORDER,
+    BenchmarkProfile,
+    get_profile,
+    profile_names,
+)
+from repro.workloads.program import (
+    AddressSpace,
+    BasicBlock,
+    LoopNest,
+    Program,
+    ScalarLoopNest,
+    VectorLoopNest,
+)
+from repro.workloads.stats import ProgramStats, measure_program, measure_stream
+from repro.workloads.suite import (
+    DEFAULT_SCALE,
+    INSTRUCTIONS_PER_MILLION,
+    build_benchmark,
+    build_suite,
+    spec_for_profile,
+)
+
+__all__ = [
+    "AddressSpace",
+    "BasicBlock",
+    "BENCHMARK_ORDER",
+    "BENCHMARK_PROFILES",
+    "BenchmarkProfile",
+    "DEFAULT_SCALE",
+    "FIXED_WORKLOAD_ORDER",
+    "INSTRUCTIONS_PER_MILLION",
+    "KERNELS",
+    "Kernel",
+    "KernelContext",
+    "LoopNest",
+    "LoopSpec",
+    "Program",
+    "ProgramStats",
+    "ScalarLoopNest",
+    "VectorLoopNest",
+    "WorkloadSpec",
+    "build_benchmark",
+    "build_suite",
+    "build_workload",
+    "get_kernel",
+    "get_profile",
+    "kernel_names",
+    "measure_program",
+    "measure_stream",
+    "profile_names",
+    "spec_for_profile",
+]

@@ -1,0 +1,185 @@
+"""Parameterized synthetic workload generation.
+
+This module turns a high-level :class:`WorkloadSpec` — how many scalar and
+vector instructions, which kernels with which vector lengths, how much of the
+scalar work lives in purely scalar loops — into a concrete
+:class:`~repro.workloads.program.Program` whose dynamic statistics match the
+specification.  The benchmark-suite analogues of the paper
+(:mod:`repro.workloads.suite`) and user-defined custom workloads (examples,
+property-based tests) both go through this builder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.workloads.kernels import get_kernel
+from repro.workloads.program import AddressSpace, Program, ScalarLoopNest, VectorLoopNest
+
+__all__ = ["LoopSpec", "WorkloadSpec", "build_workload"]
+
+#: Instructions per scalar-loop iteration (6 body instructions + branch).
+SCALAR_LOOP_BODY_SIZE = 7
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One vectorized loop nest of a workload specification.
+
+    Parameters
+    ----------
+    kernel:
+        Name of a kernel from :mod:`repro.workloads.kernels`.
+    vl:
+        Vector length used by the loop (1..128).
+    weight:
+        Fraction of the workload's vector instructions contributed by this
+        loop.  Weights of all loops in a spec should sum to ~1.0.
+    stride:
+        Element stride of the loop's strided memory accesses.
+    """
+
+    kernel: str
+    vl: int
+    weight: float
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(f"loop weight must be positive, got {self.weight}")
+        if self.vl < 1:
+            raise WorkloadError(f"loop vector length must be >= 1, got {self.vl}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a synthetic workload."""
+
+    name: str
+    vector_instructions: int
+    scalar_instructions: int
+    loops: tuple[LoopSpec, ...]
+    scalar_loop_fraction: float = 0.2
+    outer_passes: int = 4
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.vector_instructions < 0 or self.scalar_instructions < 0:
+            raise WorkloadError("instruction counts must be non-negative")
+        if self.vector_instructions > 0 and not self.loops:
+            raise WorkloadError("a workload with vector instructions needs loop specs")
+        if not 0.0 <= self.scalar_loop_fraction <= 1.0:
+            raise WorkloadError("scalar_loop_fraction must be within [0, 1]")
+        total_weight = sum(spec.weight for spec in self.loops)
+        if self.loops and not math.isclose(total_weight, 1.0, rel_tol=0.05):
+            raise WorkloadError(
+                f"loop weights of workload {self.name!r} sum to {total_weight:.3f}, expected ~1.0"
+            )
+
+    @property
+    def expected_average_vl(self) -> float:
+        """Weighted average vector length implied by the loop mix."""
+        if not self.loops:
+            return 0.0
+        return sum(spec.vl * spec.weight for spec in self.loops)
+
+    @property
+    def expected_vectorization(self) -> float:
+        """Expected degree of vectorization (percent), paper definition."""
+        vector_ops = self.vector_instructions * self.expected_average_vl
+        total = vector_ops + self.scalar_instructions
+        if total == 0:
+            return 0.0
+        return 100.0 * vector_ops / total
+
+
+@dataclass
+class _LoopPlan:
+    """Resolved iteration/overhead counts for one vector loop nest."""
+
+    spec: LoopSpec
+    iterations: int
+    scalar_overhead: int
+    vector_body_size: int
+
+    @property
+    def vector_instructions(self) -> int:
+        return self.iterations * self.vector_body_size
+
+    @property
+    def scalar_instructions(self) -> int:
+        # scalar_filler instructions + the closing conditional branch
+        per_iteration = self.scalar_overhead + (1 if self.scalar_overhead > 0 else 0)
+        return self.iterations * per_iteration
+
+
+def _plan_vector_loops(spec: WorkloadSpec) -> list[_LoopPlan]:
+    """Turn loop weights into concrete iteration and overhead counts."""
+    plans: list[_LoopPlan] = []
+    scalar_overhead_budget = spec.scalar_instructions * (1.0 - spec.scalar_loop_fraction)
+    for loop_spec in spec.loops:
+        kernel = get_kernel(loop_spec.kernel)
+        body_size = kernel.vector_instructions
+        target_vector = spec.vector_instructions * loop_spec.weight
+        iterations = max(1, round(target_vector / body_size))
+        target_scalar = scalar_overhead_budget * loop_spec.weight
+        per_iteration = target_scalar / iterations if iterations else 0.0
+        scalar_overhead = max(2, round(per_iteration) - 1)
+        plans.append(
+            _LoopPlan(
+                spec=loop_spec,
+                iterations=iterations,
+                scalar_overhead=scalar_overhead,
+                vector_body_size=body_size,
+            )
+        )
+    return plans
+
+
+def build_workload(spec: WorkloadSpec) -> Program:
+    """Materialize a :class:`Program` from a :class:`WorkloadSpec`.
+
+    The resulting program's measured statistics (scalar/vector instruction
+    counts, average vector length, degree of vectorization) track the
+    specification closely but not exactly: iteration counts are integral, and
+    every loop iteration carries at least a minimal amount of loop-control
+    code.  :mod:`repro.workloads.stats` measures the achieved values.
+    """
+    program = Program(spec.name, outer_passes=spec.outer_passes)
+    address_space = AddressSpace()
+
+    plans = _plan_vector_loops(spec) if spec.vector_instructions > 0 else []
+    for index, plan in enumerate(plans):
+        kernel = get_kernel(plan.spec.kernel)
+        program.add_loop(
+            VectorLoopNest(
+                name=f"{spec.name}.{kernel.name}{index}",
+                kernel=kernel,
+                vl=min(plan.spec.vl, 128),
+                iterations=plan.iterations,
+                scalar_overhead=plan.scalar_overhead,
+                stride=plan.spec.stride,
+                address_space=address_space,
+            )
+        )
+
+    scalar_from_vector_loops = sum(plan.scalar_instructions for plan in plans)
+    remaining_scalar = spec.scalar_instructions - scalar_from_vector_loops
+    if remaining_scalar >= SCALAR_LOOP_BODY_SIZE:
+        iterations = max(1, round(remaining_scalar / SCALAR_LOOP_BODY_SIZE))
+        program.add_loop(
+            ScalarLoopNest(
+                name=f"{spec.name}.scalar",
+                iterations=iterations,
+                body_size=SCALAR_LOOP_BODY_SIZE,
+                address_space=address_space,
+            )
+        )
+    if not program.loops:
+        raise WorkloadError(
+            f"workload {spec.name!r} resolves to an empty program; "
+            "increase the instruction counts"
+        )
+    return program

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiments == ["table1"]
+        assert args.preset == "default"
+        assert args.scale is None
+
+    def test_multiple_experiments_and_options(self):
+        args = build_parser().parse_args(
+            ["table3", "figure5", "--preset", "quick", "--scale", "0.1", "--max-rows", "5"]
+        )
+        assert args.experiments == ["table3", "figure5"]
+        assert args.preset == "quick"
+        assert args.scale == 0.1
+        assert args.max_rows == 5
+
+
+class TestMain:
+    def test_unknown_experiment_exits_with_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_table_experiments_run_quickly(self, capsys):
+        exit_code = main(["table1", "table2", "--scale", "0.05"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Table 1" in captured.out
+        assert "Table 2" in captured.out
+        assert "regenerated in" in captured.out
+
+    def test_table3_with_tiny_scale(self, capsys):
+        exit_code = main(["table3", "--scale", "0.05", "--max-rows", "4"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "swm256" in captured.out
+        assert "more rows" in captured.out
+
+    def test_figure5_quick_preset(self, capsys):
+        exit_code = main(["figure5", "--preset", "quick", "--scale", "0.05"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "memory port" in captured.out.lower()

@@ -1,0 +1,160 @@
+"""Tests for the future-work extensions (section 10): multi-port memory,
+simultaneous multi-thread issue, and the chaining ablation switch."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.functional_units import VectorUnitPool
+from repro.core.multithreaded import MultithreadedSimulator
+from repro.core.reference import ReferenceSimulator
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.request import AccessKind, MemoryRequest
+from repro.memory.system import MemorySystem
+from repro.workloads import build_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return build_suite(
+        ["swm256", "hydro2d", "arc2d", "flo52", "tomcatv", "dyfesm"], scale=0.1
+    )
+
+
+class TestConfigurationExtensions:
+    def test_cray_style_constructor(self):
+        config = MachineConfig.cray_style(4, 50)
+        assert config.num_memory_ports == 3
+        assert config.issue_width == 2
+        assert config.num_contexts == 4
+
+    def test_port_and_width_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_memory_ports=0)
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_memory_ports=5)
+        with pytest.raises(ConfigurationError):
+            MachineConfig(issue_width=0)
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_contexts=2, dual_scalar=True, issue_width=2)
+
+    def test_chaining_flag_default_on(self):
+        assert MachineConfig.reference().allow_chaining
+
+
+class TestMultiPortMemorySystem:
+    def test_two_ports_serve_two_streams_concurrently(self):
+        memory = MemorySystem(latency=10, num_ports=2)
+        first = memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=32), earliest=0)
+        second = memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=32), earliest=0)
+        assert first.start == 0
+        assert second.start == 0  # the second port takes the second stream
+        assert memory.address_port_busy_cycles == 64
+
+    def test_occupancy_normalized_by_port_count(self):
+        memory = MemorySystem(latency=10, num_ports=2)
+        memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=50), earliest=0)
+        assert memory.port_occupancy(100) == pytest.approx(0.25)
+
+    def test_invalid_port_count(self):
+        with pytest.raises(ConfigurationError):
+            MemorySystem(num_ports=0)
+
+    def test_pool_with_multiple_ld_units(self):
+        pool = VectorUnitPool(num_load_store_units=3)
+        assert len(pool.load_store_units) == 3
+        pool.load_store_units[0].reserve(0, 100)
+        choice = pool.memory_unit(now=0)
+        assert choice.earliest == 0
+        assert choice.unit is not pool.load_store_units[0]
+
+    def test_pool_rejects_zero_units(self):
+        with pytest.raises(SimulationError):
+            VectorUnitPool(num_load_store_units=0)
+
+
+class TestMultiPortMachine:
+    def test_three_ports_speed_up_the_multiprogrammed_machine(self, suite):
+        """A Cray-like 3-port memory system relieves the single-port bottleneck."""
+        programs = [suite[name] for name in ("swm256", "hydro2d", "arc2d", "flo52")]
+        one_port = MultithreadedSimulator(MachineConfig.multithreaded(4, 50)).run_job_queue(
+            programs
+        )
+        three_ports = MultithreadedSimulator(
+            replace(MachineConfig.multithreaded(4, 50), num_memory_ports=3)
+        ).run_job_queue(programs)
+        assert three_ports.cycles < one_port.cycles
+        # with the port bottleneck gone, per-port occupancy drops well below 1
+        assert three_ports.memory_port_occupancy < one_port.memory_port_occupancy
+
+    def test_single_thread_gains_little_from_extra_ports(self, suite):
+        """One in-order thread cannot exploit extra ports (that is the paper's point)."""
+        program = suite["swm256"]
+        one = ReferenceSimulator(MachineConfig.reference(50)).run(program)
+        three = ReferenceSimulator(
+            replace(MachineConfig.reference(50), num_memory_ports=3)
+        ).run(program)
+        assert three.cycles <= one.cycles
+        # the improvement is modest compared to the 3x raw bandwidth increase
+        assert three.cycles > 0.6 * one.cycles
+
+
+class TestMultiIssue:
+    def test_wider_issue_helps_scalar_heavy_workloads(self, suite):
+        """Simultaneous issue from several threads (future work, section 10).
+
+        The gain is small — a few percent — because the decode unit is rarely
+        the bottleneck of a vector machine, which is exactly the observation
+        that makes the paper's single shared decode unit sufficient.
+        """
+        programs = [suite[name] for name in ("tomcatv", "dyfesm", "tomcatv", "dyfesm")]
+        narrow = MultithreadedSimulator(MachineConfig.multithreaded(4, 50)).run_job_queue(
+            programs
+        )
+        wide_config = replace(MachineConfig.multithreaded(4, 50), issue_width=2)
+        wide = MultithreadedSimulator(wide_config).run_job_queue(programs)
+        assert wide.instructions == narrow.instructions
+        assert wide.cycles < narrow.cycles
+        assert wide.cycles > 0.85 * narrow.cycles  # the improvement stays modest
+
+    def test_cray_style_machine_beats_the_single_port_machine(self, suite):
+        """Section 10: the 3-port, dual-issue extension outperforms the 1-port machine."""
+        programs = [suite[name] for name in ("swm256", "hydro2d", "arc2d", "flo52")]
+        one_port = MultithreadedSimulator(MachineConfig.multithreaded(4, 50)).run_job_queue(
+            programs
+        )
+        cray = MultithreadedSimulator(
+            MachineConfig.cray_style(4, 50, num_memory_ports=3, issue_width=2)
+        ).run_job_queue(programs)
+        assert cray.cycles < one_port.cycles
+        assert cray.instructions == one_port.instructions
+
+    def test_issue_width_cannot_exceed_dispatches_per_thread(self, suite):
+        """Each thread still issues at most one instruction per cycle."""
+        program = suite["swm256"]
+        wide_config = replace(MachineConfig.multithreaded(2, 50), issue_width=2)
+        result = MultithreadedSimulator(wide_config).run_single(program)
+        assert result.stats.instructions_per_cycle <= 1.0 + 1e-9
+
+
+class TestChainingAblation:
+    def test_disabling_chaining_slows_the_machine(self, suite):
+        """Chaining is one of the three effects the paper credits for vector efficiency."""
+        program = suite["swm256"]
+        chained = ReferenceSimulator(MachineConfig.reference(50)).run(program)
+        unchained = ReferenceSimulator(
+            replace(MachineConfig.reference(50), allow_chaining=False)
+        ).run(program)
+        assert unchained.cycles > chained.cycles
+
+    def test_chaining_ablation_preserves_work(self, suite):
+        program = suite["flo52"]
+        chained = ReferenceSimulator(MachineConfig.reference(50)).run(program)
+        unchained = ReferenceSimulator(
+            replace(MachineConfig.reference(50), allow_chaining=False)
+        ).run(program)
+        assert chained.instructions == unchained.instructions
+        assert chained.stats.memory_transactions == unchained.stats.memory_transactions

@@ -1,0 +1,91 @@
+"""Unit tests for the functional-unit pool (FU1, FU2, LD)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.functional_units import FunctionalUnit, VectorUnitPool
+from repro.errors import SimulationError
+from repro.isa.builder import vadd, vdiv, vmul, vsqrt, vload
+from repro.isa.registers import V
+
+
+class TestFunctionalUnit:
+    def test_reservation_advances_free_time(self):
+        unit = FunctionalUnit("FU1")
+        unit.reserve(0, 130, elements=128)
+        assert unit.free_at == 130
+        assert unit.instructions_executed == 1
+        assert unit.element_operations == 128
+
+    def test_record_until_extends_stats_window_only(self):
+        unit = FunctionalUnit("FU1")
+        unit.reserve(0, 130, elements=128, record_until=260)
+        assert unit.free_at == 130
+        assert unit.intervals.busy_cycles() == 260
+
+    def test_invalid_reservation(self):
+        unit = FunctionalUnit("FU1")
+        with pytest.raises(SimulationError):
+            unit.reserve(10, 5)
+
+    def test_reset(self):
+        unit = FunctionalUnit("FU1")
+        unit.reserve(0, 10)
+        unit.reset()
+        assert unit.free_at == 0
+        assert unit.instructions_executed == 0
+
+
+class TestVectorUnitPool:
+    def test_mul_div_sqrt_route_to_fu2_only(self):
+        """FU1 executes everything except multiplication, division and sqrt (section 3)."""
+        pool = VectorUnitPool()
+        for instruction in (
+            vmul(V(2), V(0), V(1), vl=8),
+            vdiv(V(2), V(0), V(1), vl=8),
+            vsqrt(V(2), V(0), vl=8),
+        ):
+            choice = pool.arithmetic_unit_for(instruction, now=0)
+            assert choice.unit is pool.fu2
+
+    def test_general_ops_prefer_free_unit(self):
+        pool = VectorUnitPool()
+        add = vadd(V(2), V(0), V(1), vl=8)
+        first = pool.arithmetic_unit_for(add, now=0)
+        assert first.unit is pool.fu1  # tie broken towards FU1
+        pool.fu1.reserve(0, 100)
+        second = pool.arithmetic_unit_for(add, now=0)
+        assert second.unit is pool.fu2
+        pool.fu2.reserve(0, 200)
+        third = pool.arithmetic_unit_for(add, now=0)
+        assert third.unit is pool.fu1
+        assert third.earliest == 100
+
+    def test_fu2_only_waits_even_if_fu1_free(self):
+        pool = VectorUnitPool()
+        pool.fu2.reserve(0, 150)
+        mul = vmul(V(2), V(0), V(1), vl=8)
+        choice = pool.arithmetic_unit_for(mul, now=0)
+        assert choice.unit is pool.fu2
+        assert choice.earliest == 150
+
+    def test_memory_unit(self):
+        pool = VectorUnitPool()
+        pool.load_store.reserve(0, 64)
+        choice = pool.memory_unit(now=10)
+        assert choice.unit is pool.load_store
+        assert choice.earliest == 64
+
+    def test_non_arithmetic_rejected(self):
+        pool = VectorUnitPool()
+        with pytest.raises(SimulationError):
+            pool.arithmetic_unit_for(vload(V(0), vl=8, address=0), now=0)
+
+    def test_reset(self):
+        pool = VectorUnitPool()
+        pool.fu1.reserve(0, 10)
+        pool.load_store.reserve(0, 10)
+        pool.reset()
+        assert pool.fu1.free_at == 0
+        assert pool.load_store.free_at == 0

@@ -1,0 +1,102 @@
+"""Unit tests for the register scoreboard: hazards, chaining, bank ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scoreboard import Scoreboard
+from repro.isa.builder import vadd, vload, vstore
+from repro.isa.opcodes import Opcode
+from repro.isa.instruction import Instruction
+from repro.isa.registers import A, S, V
+
+
+class TestDataHazards:
+    def test_fresh_registers_impose_no_constraints(self):
+        scoreboard = Scoreboard()
+        instruction = vadd(V(2), V(0), V(1), vl=64)
+        assert scoreboard.earliest_dispatch(instruction, now=5) == 5
+
+    def test_non_chainable_source_blocks_dispatch(self):
+        """Loads are not chainable: consumers wait for the full load (section 3)."""
+        scoreboard = Scoreboard()
+        scoreboard.record_write(V(0), first_element_at=60, ready_at=150, chainable=False)
+        consumer = vadd(V(2), V(0), V(1), vl=64)
+        assert scoreboard.earliest_dispatch(consumer, now=10) == 150
+
+    def test_chainable_source_does_not_block_dispatch(self):
+        """FU-produced results allow fully flexible chaining (section 3)."""
+        scoreboard = Scoreboard()
+        scoreboard.record_write(V(0), first_element_at=60, ready_at=150, chainable=True)
+        consumer = vadd(V(2), V(0), V(1), vl=64)
+        assert scoreboard.earliest_dispatch(consumer, now=10) == 10
+
+    def test_scalar_source_always_waits_for_completion(self):
+        scoreboard = Scoreboard()
+        scoreboard.record_write(S(1), first_element_at=40, ready_at=40, chainable=True)
+        consumer = Instruction(Opcode.ADD_S, dest=S(2), srcs=(S(1),))
+        assert scoreboard.earliest_dispatch(consumer, now=0) == 40
+
+    def test_waw_hazard(self):
+        scoreboard = Scoreboard()
+        scoreboard.record_write(V(2), first_element_at=30, ready_at=90, chainable=True)
+        writer = vload(V(2), vl=64, address=0)
+        assert scoreboard.earliest_dispatch(writer, now=0) == 90
+
+    def test_war_hazard(self):
+        scoreboard = Scoreboard()
+        scoreboard.record_read(V(2), now=0, read_end=75)
+        writer = vload(V(2), vl=64, address=0)
+        assert scoreboard.earliest_dispatch(writer, now=0) == 75
+
+    def test_chain_start_uses_first_element_times(self):
+        scoreboard = Scoreboard()
+        scoreboard.record_write(V(0), first_element_at=42, ready_at=170, chainable=True)
+        consumer = vadd(V(2), V(0), V(1), vl=64)
+        assert scoreboard.chain_start(consumer, candidate_start=10) == 42
+        assert scoreboard.chain_start(consumer, candidate_start=60) == 60
+
+    def test_chain_start_ignores_completed_producers(self):
+        scoreboard = Scoreboard()
+        scoreboard.record_write(V(0), first_element_at=5, ready_at=9, chainable=True)
+        consumer = vadd(V(2), V(0), V(1), vl=64)
+        assert scoreboard.chain_start(consumer, candidate_start=20) == 20
+
+    def test_reset_clears_state(self):
+        scoreboard = Scoreboard()
+        scoreboard.record_write(V(0), first_element_at=60, ready_at=150, chainable=False)
+        scoreboard.reset()
+        consumer = vadd(V(2), V(0), V(1), vl=64)
+        assert scoreboard.earliest_dispatch(consumer, now=0) == 0
+
+
+class TestBankPorts:
+    def test_write_port_conflict_within_bank(self):
+        """V0 and V1 share a bank with a single write port (section 3)."""
+        scoreboard = Scoreboard(model_bank_ports=True)
+        scoreboard.record_write(V(0), first_element_at=10, ready_at=100, chainable=False)
+        writer_same_bank = vload(V(1), vl=64, address=0)
+        writer_other_bank = vload(V(2), vl=64, address=0)
+        assert scoreboard.earliest_dispatch(writer_same_bank, now=0) >= 100
+        assert scoreboard.earliest_dispatch(writer_other_bank, now=0) == 0
+
+    def test_two_read_ports_per_bank(self):
+        scoreboard = Scoreboard(model_bank_ports=True)
+        scoreboard.record_read(V(0), now=0, read_end=80)
+        scoreboard.record_read(V(1), now=0, read_end=90)
+        # third concurrent reader of bank 0 must wait for a port
+        reader = vstore(V(0), A(0), vl=64, address=0)
+        assert scoreboard.earliest_dispatch(reader, now=0) >= 80
+
+    def test_bank_ports_can_be_disabled(self):
+        scoreboard = Scoreboard(model_bank_ports=False)
+        scoreboard.record_write(V(0), first_element_at=10, ready_at=100, chainable=False)
+        writer_same_bank = vload(V(1), vl=64, address=0)
+        assert scoreboard.earliest_dispatch(writer_same_bank, now=0) == 0
+
+    def test_different_banks_never_conflict(self):
+        scoreboard = Scoreboard(model_bank_ports=True)
+        scoreboard.record_write(V(0), first_element_at=10, ready_at=100, chainable=False)
+        scoreboard.record_write(V(2), first_element_at=10, ready_at=100, chainable=False)
+        writer = vload(V(4), vl=64, address=0)
+        assert scoreboard.earliest_dispatch(writer, now=0) == 0

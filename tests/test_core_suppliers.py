@@ -1,0 +1,128 @@
+"""Unit tests for job suppliers and the hardware-context fetch behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import HardwareContext
+from repro.core.suppliers import (
+    Job,
+    JobQueueSupplier,
+    RepeatingSupplier,
+    SingleJobSupplier,
+)
+from repro.isa.builder import nop, scalar_op
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import S
+from repro.trace.dixie import trace_program
+
+
+def tiny_job(name="tiny", count=3):
+    return Job.from_instructions(name, [nop() for _ in range(count)])
+
+
+class TestJob:
+    def test_job_streams_are_fresh_each_time(self):
+        job = tiny_job()
+        assert list(job.open_stream()) == list(job.open_stream())
+
+    def test_from_program(self, triad_program):
+        job = Job.from_program(triad_program)
+        assert job.name == triad_program.name
+        assert len(list(job.open_stream())) == triad_program.dynamic_instruction_count
+
+    def test_from_trace(self, triad_program):
+        trace = trace_program(triad_program)
+        job = Job.from_trace(trace)
+        assert list(job.open_stream()) == list(triad_program.instructions())
+
+
+class TestSuppliers:
+    def test_single_job_supplier(self):
+        supplier = SingleJobSupplier(tiny_job())
+        assert supplier.next_job() is not None
+        assert supplier.next_job() is None
+
+    def test_repeating_supplier(self):
+        supplier = RepeatingSupplier(tiny_job())
+        for _ in range(5):
+            assert supplier.next_job() is not None
+        assert supplier.times_supplied == 5
+
+    def test_repeating_supplier_with_limit(self):
+        supplier = RepeatingSupplier(tiny_job(), max_restarts=1)
+        assert supplier.next_job() is not None
+        assert supplier.next_job() is not None
+        assert supplier.next_job() is None
+
+    def test_job_queue_supplier(self):
+        queue = JobQueueSupplier([tiny_job("a"), tiny_job("b")])
+        assert queue.remaining == 2
+        assert queue.next_job().name == "a"
+        assert queue.next_job().name == "b"
+        assert queue.next_job() is None
+        assert queue.dispatched == ["a", "b"]
+
+
+class TestHardwareContext:
+    def test_head_and_consume(self):
+        context = HardwareContext(0, SingleJobSupplier(tiny_job(count=2)))
+        first = context.head(now=0)
+        assert first is not None
+        context.consume(first)
+        second = context.head(now=1)
+        context.consume(second)
+        assert context.head(now=2) is None
+        assert context.finished
+        assert context.completed_programs == 1
+
+    def test_job_records_track_boundaries(self):
+        context = HardwareContext(0, JobQueueSupplier([tiny_job("a", 2), tiny_job("b", 1)]))
+        while True:
+            head = context.head(now=context.stats.instructions)
+            if head is None:
+                break
+            context.consume(head)
+        assert [record.program for record in context.stats.jobs] == ["a", "b"]
+        assert all(record.completed for record in context.stats.jobs)
+        assert context.stats.jobs[0].instructions == 2
+
+    def test_instruction_limit_stops_early(self):
+        context = HardwareContext(
+            0, SingleJobSupplier(tiny_job(count=10)), instruction_limit=4
+        )
+        dispatched = 0
+        while True:
+            head = context.head(now=dispatched)
+            if head is None:
+                break
+            context.consume(head)
+            dispatched += 1
+        assert dispatched == 4
+        assert not context.stats.jobs[0].completed
+
+    def test_statistics_accumulate_by_kind(self, triad_program):
+        context = HardwareContext(0, SingleJobSupplier(Job.from_program(triad_program)))
+        while True:
+            head = context.head(now=0)
+            if head is None:
+                break
+            context.consume(head)
+        assert context.stats.vector_instructions > 0
+        assert context.stats.scalar_instructions > 0
+        assert (
+            context.stats.instructions
+            == context.stats.vector_instructions + context.stats.scalar_instructions
+        )
+
+    def test_lost_cycle_accounting(self):
+        context = HardwareContext(0, SingleJobSupplier(tiny_job()))
+        context.record_lost_cycle()
+        context.record_lost_cycle()
+        assert context.stats.lost_decode_cycles == 2
+
+    def test_current_job_name(self):
+        context = HardwareContext(0, SingleJobSupplier(tiny_job("prog")))
+        assert context.current_job_name is None
+        context.head(now=0)
+        assert context.current_job_name == "prog"

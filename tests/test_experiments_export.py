@@ -1,0 +1,59 @@
+"""Tests for CSV/JSON export of experiment reports."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.export import (
+    report_to_csv,
+    report_to_json,
+    write_report,
+    write_reports,
+)
+from repro.experiments.figures import table1, table2
+
+
+class TestExportFormats:
+    def test_csv_roundtrip(self):
+        report = table1()
+        rows = list(csv.DictReader(report_to_csv(report).splitlines()))
+        assert len(rows) == len(report.rows)
+        assert set(rows[0]) == set(report.columns)
+        assert rows[0]["parameter"] == report.rows[0]["parameter"]
+
+    def test_json_roundtrip(self):
+        report = table2()
+        document = json.loads(report_to_json(report))
+        assert document["experiment_id"] == "table2"
+        assert document["columns"] == report.columns
+        assert len(document["rows"]) == len(report.rows)
+
+    def test_write_report_creates_files(self, tmp_path):
+        path = write_report(table1(), tmp_path / "out", fmt="json")
+        assert path.exists()
+        assert path.name == "table1.json"
+        assert json.loads(path.read_text())["title"].startswith("Table 1")
+
+    def test_write_reports_multiple(self, tmp_path):
+        paths = write_reports([table1(), table2()], tmp_path, fmt="csv")
+        assert [path.name for path in paths] == ["table1.csv", "table2.csv"]
+        assert all(path.exists() for path in paths)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_report(table1(), tmp_path, fmt="xml")
+
+
+class TestCliExport:
+    def test_cli_writes_output_files(self, tmp_path, capsys):
+        exit_code = main(
+            ["table1", "table2", "--output-dir", str(tmp_path), "--output-format", "json"]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "table1.json").exists()
+        assert (tmp_path / "table2.json").exists()
+        assert "written to" in capsys.readouterr().out

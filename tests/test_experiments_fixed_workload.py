@@ -1,0 +1,103 @@
+"""Tests for the fixed-workload methodology and latency sweeps (section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.fixed_workload import FixedWorkload
+from repro.experiments.latency_sweep import LatencySweep, SweepSeries
+from repro.workloads import build_suite
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return FixedWorkload(build_suite(scale=0.05))
+
+
+class TestFixedWorkload:
+    def test_missing_programs_rejected(self, tiny_suite):
+        with pytest.raises(ExperimentError):
+            FixedWorkload({"swm256": tiny_suite["swm256"]})
+
+    def test_baseline_runs_all_programs_sequentially(self, workload):
+        run = workload.run_baseline(50)
+        assert run.machine == "baseline"
+        assert len(run.timeline) == 10
+        # sequential: each program starts when the previous one ends
+        for previous, current in zip(run.timeline, run.timeline[1:]):
+            assert current.start_cycle == previous.end_cycle
+        assert run.cycles == run.timeline[-1].end_cycle
+
+    def test_multithreaded_run_preserves_total_work(self, workload):
+        run = workload.run_multithreaded(2, 50)
+        assert run.num_contexts == 2
+        executed = sorted(entry.program for entry in run.timeline)
+        assert executed == sorted(workload.order)
+
+    def test_multithreaded_is_faster_than_baseline(self, workload):
+        baseline = workload.run_baseline(50)
+        threaded = workload.run_multithreaded(2, 50)
+        assert threaded.cycles < baseline.cycles
+        assert threaded.memory_port_occupancy > baseline.memory_port_occupancy
+
+    def test_timeline_threads_within_bounds(self, workload):
+        run = workload.run_multithreaded(3, 50)
+        assert {entry.thread_id for entry in run.timeline} <= {0, 1, 2}
+        for entry in run.timeline:
+            assert entry.duration >= 0
+
+    def test_dual_scalar_run(self, workload):
+        run = workload.run_dual_scalar(50)
+        assert run.machine == "dual-scalar"
+        assert len(run.timeline) == 10
+
+    def test_ideal_cycles_is_a_lower_bound(self, workload):
+        bound = workload.ideal_cycles()
+        assert bound < workload.run_multithreaded(4, 1).cycles
+
+
+class TestSweepSeries:
+    def test_add_and_query(self):
+        series = SweepSeries("x")
+        series.add(1, 100)
+        series.add(50, 120)
+        assert series.cycles_at(50) == 120
+        assert series.latencies == [1, 50]
+        with pytest.raises(ExperimentError):
+            series.cycles_at(70)
+
+    def test_degradation(self):
+        series = SweepSeries("x")
+        series.add(1, 100)
+        series.add(100, 150)
+        assert series.degradation() == pytest.approx(0.5)
+        assert SweepSeries("y").degradation() == 0.0
+
+
+class TestLatencySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, workload):
+        return LatencySweep(workload)
+
+    def test_baseline_series_grows_with_latency(self, sweep):
+        series = sweep.baseline_series((1, 100))
+        assert series.cycles_at(100) > series.cycles_at(1)
+
+    def test_multithreaded_series_flatter_than_baseline(self, sweep):
+        baseline = sweep.baseline_series((1, 100))
+        threaded = sweep.multithreaded_series(2, (1, 100))
+        assert threaded.degradation() < baseline.degradation()
+
+    def test_ideal_series_is_flat(self, sweep):
+        series = sweep.ideal_series((1, 50, 100))
+        values = {series.cycles_at(latency) for latency in (1, 50, 100)}
+        assert len(values) == 1
+
+    def test_crossbar_slowdowns_are_small(self, sweep):
+        slowdowns = sweep.crossbar_slowdowns(2, (50,))
+        assert 0.99 <= slowdowns[50] <= 1.05
+
+    def test_dual_scalar_series(self, sweep):
+        series = sweep.dual_scalar_series((1,))
+        assert series.cycles_at(1) > 0

@@ -1,0 +1,83 @@
+"""Tests for the groupings experiment (figures 6-8 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.groupings import GroupingTable
+from repro.experiments.multiprogram import (
+    GroupRunMetrics,
+    GroupingExperiment,
+    GroupingExperimentResult,
+)
+from repro.workloads import build_suite
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    programs = build_suite(scale=0.05)
+    table = GroupingTable(("swm256", "tomcatv"), ("flo52",), ("dyfesm",))
+    return GroupingExperiment(
+        programs,
+        memory_latency=50,
+        table=table,
+        max_groups_per_size=1,
+        context_counts=(2, 3),
+    )
+
+
+class TestGroupingExperiment:
+    def test_missing_companions_rejected(self, tiny_suite):
+        programs = {"swm256": tiny_suite["swm256"]}
+        with pytest.raises(ExperimentError):
+            GroupingExperiment(programs)
+
+    def test_run_group_metrics(self, experiment):
+        metrics = experiment.run_group(("trfd", "swm256"))
+        assert isinstance(metrics, GroupRunMetrics)
+        assert metrics.num_contexts == 2
+        assert metrics.speedup > 1.0
+        assert 0 < metrics.reference_occupancy < metrics.multithreaded_occupancy <= 1.0
+        assert metrics.multithreaded_vopc > metrics.reference_vopc
+
+    def test_run_program_covers_requested_context_counts(self, experiment):
+        metrics = experiment.run_program("dyfesm")
+        counts = {m.num_contexts for m in metrics}
+        assert counts == {2, 3}
+        assert len(metrics) == 2  # one group per context count (max_groups=1)
+
+    def test_run_produces_averagable_result(self, experiment):
+        result = experiment.run(["trfd"])
+        assert isinstance(result, GroupingExperimentResult)
+        assert result.programs() == ["trfd"]
+        assert result.context_counts() == [2, 3]
+        assert result.average_speedup("trfd", 2) > 1.0
+        mth, ref = result.average_occupancy("trfd", 2)
+        assert mth > ref
+
+
+class TestGroupingExperimentResult:
+    def test_missing_data_raises(self):
+        result = GroupingExperimentResult(memory_latency=50)
+        with pytest.raises(ExperimentError):
+            result.average_speedup("swm256", 2)
+
+    def test_add_and_average(self):
+        result = GroupingExperimentResult(memory_latency=50)
+        for speedup in (1.2, 1.4):
+            result.add(
+                "swm256",
+                GroupRunMetrics(
+                    group=("swm256", "flo52"),
+                    num_contexts=2,
+                    multithreaded_cycles=1000,
+                    speedup=speedup,
+                    multithreaded_occupancy=0.8,
+                    reference_occupancy=0.6,
+                    multithreaded_vopc=0.9,
+                    reference_vopc=0.5,
+                ),
+            )
+        assert result.average_speedup("swm256", 2) == pytest.approx(1.3)
+        assert result.average_vopc("swm256", 2) == (pytest.approx(0.9), pytest.approx(0.5))

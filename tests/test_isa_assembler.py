@@ -1,0 +1,99 @@
+"""Unit and property-based tests for the textual assembler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import (
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.builder import scalar_op, vadd, vload, vstore
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import A, S, V
+
+
+class TestEncodeDecode:
+    def test_simple_roundtrip(self):
+        instruction = vadd(V(2), V(0), V(1), vl=128)
+        assert decode_instruction(encode_instruction(instruction)) == instruction
+
+    def test_memory_roundtrip(self):
+        instruction = vload(V(3), vl=64, address=0x1000, stride=8)
+        decoded = decode_instruction(encode_instruction(instruction))
+        assert decoded == instruction
+        assert decoded.address == 0x1000
+        assert decoded.stride == 8
+
+    def test_store_roundtrip(self):
+        instruction = vstore(V(1), A(2), vl=32, address=0x2000)
+        assert decode_instruction(encode_instruction(instruction)) == instruction
+
+    def test_immediate_roundtrip(self):
+        instruction = scalar_op(Opcode.ADD_A, A(1), A(1), imm=8)
+        assert decode_instruction(encode_instruction(instruction)) == instruction
+
+    def test_pc_roundtrip(self):
+        instruction = vadd(V(2), V(0), V(1), vl=16).with_pc(42)
+        assert decode_instruction(encode_instruction(instruction)).pc == 42
+
+    def test_decode_with_comment(self):
+        assert decode_instruction("nop ; trailing comment").opcode is Opcode.NOP
+
+    def test_decode_errors(self):
+        with pytest.raises(AssemblyError):
+            decode_instruction("")
+        with pytest.raises(AssemblyError):
+            decode_instruction("bogus v0, v1")
+        with pytest.raises(AssemblyError):
+            decode_instruction("vadd v0, q1, v2 !vl=4")
+        with pytest.raises(AssemblyError):
+            decode_instruction("vadd v0, v1, v2 !vl=4 !wat=1")
+        with pytest.raises(AssemblyError):
+            decode_instruction("vstore v0, a0")  # missing vl for vector op
+
+    def test_program_roundtrip(self):
+        instructions = [
+            vload(V(0), vl=64, address=0x100),
+            vadd(V(2), V(0), V(1), vl=64),
+            vstore(V(2), A(0), vl=64, address=0x200),
+            Instruction(Opcode.BR_COND, srcs=(S(1),)),
+        ]
+        text = encode_program(instructions)
+        assert decode_program(text) == instructions
+
+    def test_decode_program_skips_comments_and_blanks(self):
+        text = "# header\n\nnop\n; pure comment\nnop\n"
+        assert len(decode_program(text)) == 2
+
+
+vector_regs = st.integers(min_value=0, max_value=7).map(V)
+lengths = st.integers(min_value=1, max_value=128)
+
+
+class TestAssemblerProperties:
+    @given(dest=vector_regs, a=vector_regs, b=vector_regs, vl=lengths)
+    def test_vadd_roundtrip_property(self, dest, a, b, vl):
+        instruction = vadd(dest, a, b, vl=vl)
+        assert decode_instruction(encode_instruction(instruction)) == instruction
+
+    @given(
+        dest=vector_regs,
+        vl=lengths,
+        address=st.integers(min_value=0, max_value=2**40),
+        stride=st.integers(min_value=1, max_value=4096),
+    )
+    def test_vload_roundtrip_property(self, dest, vl, address, stride):
+        instruction = vload(dest, vl=vl, address=address, stride=stride)
+        assert decode_instruction(encode_instruction(instruction)) == instruction
+
+    @given(index=st.integers(min_value=0, max_value=7), imm=st.integers(-1000, 1000))
+    def test_scalar_roundtrip_property(self, index, imm):
+        instruction = scalar_op(Opcode.ADD_S, S(index), S((index + 1) % 8), imm=imm)
+        assert decode_instruction(encode_instruction(instruction)) == instruction

@@ -1,0 +1,215 @@
+"""Unit tests for the memory subsystem: busses, banks and the memory system."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.banks import BankConflictModel
+from repro.memory.bus import Bus
+from repro.memory.request import AccessKind, MemoryRequest, MemoryTiming
+from repro.memory.system import MemorySystem
+
+
+class TestBus:
+    def test_serial_reservations(self):
+        bus = Bus("address")
+        first = bus.reserve(0, 10)
+        second = bus.reserve(0, 5)
+        assert first == 0
+        assert second == 10
+        assert bus.stats.busy_cycles == 15
+        assert bus.free_at == 15
+
+    def test_reservation_respects_earliest(self):
+        bus = Bus("address")
+        assert bus.reserve(100, 4) == 100
+        assert bus.reserve(10, 4) == 104
+
+    def test_zero_length_reservation(self):
+        bus = Bus("address")
+        assert bus.reserve(5, 0) == 5
+        assert bus.stats.busy_cycles == 0
+
+    def test_invalid_reservations(self):
+        bus = Bus("address")
+        with pytest.raises(SimulationError):
+            bus.reserve(-1, 4)
+        with pytest.raises(SimulationError):
+            bus.reserve(0, -4)
+
+    def test_occupancy(self):
+        bus = Bus("address")
+        bus.reserve(0, 50)
+        assert bus.stats.occupancy(100) == pytest.approx(0.5)
+        assert bus.stats.occupancy(25) == 1.0
+        assert bus.stats.occupancy(0) == 0.0
+
+    def test_reset(self):
+        bus = Bus("address")
+        bus.reserve(0, 10)
+        bus.reset()
+        assert bus.free_at == 0
+        assert bus.stats.busy_cycles == 0
+
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=30)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_busy_cycles_equal_sum_of_reservations(self, lengths):
+        bus = Bus("address")
+        for length in lengths:
+            bus.reserve(0, length)
+        assert bus.stats.busy_cycles == sum(lengths)
+        assert bus.free_at == sum(lengths)
+
+
+class TestMemoryRequest:
+    def test_access_kind_flags(self):
+        assert AccessKind.VECTOR_LOAD.is_load and AccessKind.VECTOR_LOAD.is_vector
+        assert AccessKind.VECTOR_SCATTER.is_indexed and not AccessKind.VECTOR_SCATTER.is_load
+        assert AccessKind.SCALAR_STORE.is_vector is False
+
+    def test_address_cycles(self):
+        request = MemoryRequest(AccessKind.VECTOR_LOAD, elements=77)
+        assert request.address_cycles == 77
+
+    def test_rejects_empty_request(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(AccessKind.VECTOR_LOAD, elements=0)
+
+    def test_timing_validation(self):
+        with pytest.raises(ValueError):
+            MemoryTiming(start=0, address_busy=1, first_element=10, completion=5)
+
+
+class TestBankConflictModel:
+    def test_unit_stride_has_no_conflicts(self):
+        model = BankConflictModel(num_banks=64, bank_busy_cycles=4)
+        request = MemoryRequest(AccessKind.VECTOR_LOAD, elements=128, stride=1)
+        assert model.delivery_cycles(request) == 128
+        assert model.stats.conflict_rate == 0.0
+
+    def test_pathological_stride_serializes(self):
+        model = BankConflictModel(num_banks=64, bank_busy_cycles=4)
+        request = MemoryRequest(AccessKind.VECTOR_LOAD, elements=64, stride=64)
+        assert model.effective_banks(64) == 1
+        assert model.delivery_cycles(request) == 64 * 4
+        assert model.stats.conflicted_accesses == 1
+
+    def test_moderate_stride(self):
+        model = BankConflictModel(num_banks=64, bank_busy_cycles=4)
+        assert model.effective_banks(32) == 2
+        request = MemoryRequest(AccessKind.VECTOR_LOAD, elements=64, stride=32)
+        assert model.delivery_cycles(request) == 128
+
+    def test_scalar_accesses_never_conflict(self):
+        model = BankConflictModel()
+        request = MemoryRequest(AccessKind.SCALAR_LOAD, elements=1)
+        assert model.slowdown(request) == 1.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            BankConflictModel(num_banks=0)
+        with pytest.raises(ConfigurationError):
+            BankConflictModel(bank_busy_cycles=0)
+        with pytest.raises(ConfigurationError):
+            BankConflictModel(gather_conflict_factor=2.0)
+
+
+class TestMemorySystem:
+    def test_vector_load_timing(self):
+        memory = MemorySystem(latency=50)
+        timing = memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=64), earliest=10)
+        assert timing.start == 10
+        assert timing.address_busy == 64
+        assert timing.first_element == 10 + 50 + 1
+        assert timing.completion == timing.first_element + 63
+
+    def test_vector_store_pays_no_latency(self):
+        """Stores send data and never wait for the write to complete (section 3.1)."""
+        memory = MemorySystem(latency=50)
+        timing = memory.schedule(MemoryRequest(AccessKind.VECTOR_STORE, elements=64), earliest=10)
+        assert timing.first_element == timing.start == 10
+        assert timing.completion == 10 + 63
+
+    def test_address_bus_is_shared_by_all_transactions(self):
+        """Scalar and vector transactions contend for the single address bus."""
+        memory = MemorySystem(latency=10)
+        first = memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=32), earliest=0)
+        second = memory.schedule(MemoryRequest(AccessKind.SCALAR_LOAD, elements=1), earliest=0)
+        assert first.start == 0
+        assert second.start == 32
+        assert memory.address_port_busy_cycles == 33
+
+    def test_gather_behaves_like_a_load(self):
+        """Gathers pay the initial latency and then one datum per cycle (section 3.1)."""
+        memory = MemorySystem(latency=30)
+        load = memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=16), earliest=0)
+        memory.reset()
+        gather = memory.schedule(MemoryRequest(AccessKind.VECTOR_GATHER, elements=16), earliest=0)
+        assert gather.first_element == load.first_element
+        assert gather.completion == load.completion
+
+    def test_zero_latency_memory(self):
+        memory = MemorySystem(latency=0)
+        timing = memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=8), earliest=0)
+        assert timing.first_element == 1
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemorySystem(latency=-1)
+
+    def test_transaction_counters(self):
+        memory = MemorySystem(latency=5)
+        memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=8), earliest=0)
+        memory.schedule(MemoryRequest(AccessKind.VECTOR_STORE, elements=8), earliest=0)
+        memory.schedule(MemoryRequest(AccessKind.VECTOR_GATHER, elements=8), earliest=0)
+        memory.schedule(MemoryRequest(AccessKind.VECTOR_SCATTER, elements=8), earliest=0)
+        memory.schedule(MemoryRequest(AccessKind.SCALAR_LOAD, elements=1), earliest=0)
+        memory.schedule(MemoryRequest(AccessKind.SCALAR_STORE, elements=1), earliest=0)
+        stats = memory.stats
+        assert stats.total_transactions == 6
+        assert stats.vector_loads == stats.vector_stores == 1
+        assert stats.gathers == stats.scatters == 1
+        assert stats.elements_loaded == 17
+        assert stats.elements_stored == 17
+
+    def test_port_occupancy_metric(self):
+        memory = MemorySystem(latency=5)
+        memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=50), earliest=0)
+        assert memory.port_occupancy(100) == pytest.approx(0.5)
+
+    def test_bank_model_slows_delivery_but_not_address_bus(self):
+        model = BankConflictModel(num_banks=8, bank_busy_cycles=4)
+        memory = MemorySystem(latency=10, bank_model=model)
+        timing = memory.schedule(
+            MemoryRequest(AccessKind.VECTOR_LOAD, elements=32, stride=8), earliest=0
+        )
+        assert timing.address_busy == 32
+        assert timing.completion - timing.first_element + 1 == 32 * 4
+
+    def test_reset_clears_everything(self):
+        memory = MemorySystem(latency=5)
+        memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=8), earliest=0)
+        memory.reset()
+        assert memory.address_port_busy_cycles == 0
+        assert memory.stats.total_transactions == 0
+
+    @given(
+        elements=st.integers(min_value=1, max_value=128),
+        latency=st.integers(min_value=0, max_value=200),
+        earliest=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_load_timing_invariants(self, elements, latency, earliest):
+        memory = MemorySystem(latency=latency)
+        timing = memory.schedule(
+            MemoryRequest(AccessKind.VECTOR_LOAD, elements=elements), earliest=earliest
+        )
+        assert timing.start >= earliest
+        assert timing.first_element > timing.start
+        assert timing.completion == timing.first_element + elements - 1
+        assert timing.address_busy == elements

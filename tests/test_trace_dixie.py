@@ -1,0 +1,102 @@
+"""Tests for the Dixie-substitute tracing pipeline (figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.dixie import Dixie, trace_program
+from repro.trace.records import TraceSet
+from repro.trace.stream import TraceStream, instructions_from_trace
+from repro.workloads.stats import measure_program, measure_stream
+
+
+class TestDixieInstrumentation:
+    def test_trace_streams_have_expected_lengths(self, triad_program):
+        trace = trace_program(triad_program)
+        stats = measure_program(triad_program)
+        assert len(trace.vl_trace) == stats.vector_instructions
+        assert len(trace.memref_trace) == (
+            stats.vector_memory_instructions + stats.scalar_memory_instructions
+        )
+        assert len(trace.stride_trace) == stats.vector_memory_instructions
+        assert len(trace.block_trace) == sum(
+            loop.iterations for loop in triad_program.loops
+        )
+
+    def test_trace_validates(self, triad_program):
+        trace = trace_program(triad_program)
+        trace.validate()  # must not raise
+
+    def test_validation_catches_missing_vl_records(self, triad_program):
+        trace = trace_program(triad_program)
+        trace.vl_trace.pop()
+        with pytest.raises(TraceError):
+            trace.validate()
+
+    def test_validation_catches_unknown_block(self, triad_program):
+        trace = trace_program(triad_program)
+        trace.block_trace.append(999)
+        with pytest.raises(TraceError):
+            trace.validate()
+
+    def test_summary_counts(self, triad_program):
+        trace = trace_program(triad_program)
+        summary = trace.summary()
+        assert summary.dynamic_instructions == triad_program.dynamic_instruction_count
+        assert summary.dynamic_blocks == len(trace.block_trace)
+        assert summary.as_dict()["vector_instructions"] == len(trace.vl_trace)
+
+    def test_scalar_program_has_no_vector_records(self, scalar_program):
+        trace = trace_program(scalar_program)
+        assert trace.vl_trace == []
+        assert trace.stride_trace == []
+        assert len(trace.memref_trace) > 0
+
+
+class TestTraceStreamReconstruction:
+    def test_roundtrip_reproduces_exact_stream(self, triad_program):
+        """Replaying the Dixie traces yields the identical dynamic instruction stream."""
+        trace = trace_program(triad_program)
+        original = list(triad_program.instructions())
+        reconstructed = list(TraceStream(trace))
+        assert reconstructed == original
+
+    def test_roundtrip_for_every_loop_kind(self, small_dyfesm):
+        trace = trace_program(small_dyfesm)
+        original = list(small_dyfesm.instructions())
+        reconstructed = list(instructions_from_trace(trace))
+        assert reconstructed == original
+
+    def test_stream_statistics_match_program(self, triad_program):
+        trace = trace_program(triad_program)
+        stream_stats = measure_stream(TraceStream(trace))
+        program_stats = measure_program(triad_program)
+        assert stream_stats.vector_operations == program_stats.vector_operations
+        assert stream_stats.total_instructions == program_stats.total_instructions
+
+    def test_len_matches(self, triad_program):
+        trace = trace_program(triad_program)
+        assert len(TraceStream(trace)) == triad_program.dynamic_instruction_count
+
+    def test_truncated_vl_trace_raises(self, triad_program):
+        trace = trace_program(triad_program)
+        broken = TraceSet(
+            program_name=trace.program_name,
+            basic_blocks=trace.basic_blocks,
+            block_trace=list(trace.block_trace),
+            vl_trace=trace.vl_trace[:1],
+            stride_trace=list(trace.stride_trace),
+            memref_trace=list(trace.memref_trace),
+        )
+        with pytest.raises(TraceError):
+            list(TraceStream(broken))
+
+    def test_duplicate_block_ids_rejected(self, triad_program):
+        blocks = trace_program(triad_program).basic_blocks
+        with pytest.raises(TraceError):
+            TraceSet(program_name="x", basic_blocks=(blocks[0], blocks[0]))
+
+    def test_dixie_without_validation(self, triad_program):
+        trace = Dixie(validate=False).instrument(triad_program)
+        assert trace.block_trace

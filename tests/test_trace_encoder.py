@@ -1,0 +1,89 @@
+"""Tests for trace-file serialization and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.dixie import trace_program
+from repro.trace.encoder import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.trace.stream import TraceStream
+
+
+class TestTraceSerialization:
+    def test_text_roundtrip(self, triad_program):
+        trace = trace_program(triad_program)
+        text = dumps_trace(trace)
+        parsed = loads_trace(text)
+        assert parsed.program_name == trace.program_name
+        assert parsed.block_trace == trace.block_trace
+        assert parsed.vl_trace == trace.vl_trace
+        assert parsed.stride_trace == trace.stride_trace
+        assert parsed.memref_trace == trace.memref_trace
+
+    def test_roundtrip_preserves_dynamic_stream(self, triad_program):
+        trace = trace_program(triad_program)
+        parsed = loads_trace(dumps_trace(trace))
+        assert list(TraceStream(parsed)) == list(TraceStream(trace))
+
+    def test_file_roundtrip(self, tmp_path, scalar_program):
+        trace = trace_program(scalar_program)
+        path = dump_trace(trace, tmp_path / "scalar.trace")
+        assert path.exists()
+        loaded = load_trace(path)
+        assert loaded.block_trace == trace.block_trace
+        assert list(TraceStream(loaded)) == list(TraceStream(trace))
+
+    def test_document_sections_present(self, triad_program):
+        text = dumps_trace(trace_program(triad_program))
+        for section in ("%program", "%blocks", "%block-trace", "%vl-trace",
+                        "%stride-trace", "%memref-trace"):
+            assert section in text
+
+    def test_missing_section_rejected(self, triad_program):
+        text = dumps_trace(trace_program(triad_program))
+        broken = text.replace("%vl-trace", "%vl-hidden")
+        with pytest.raises(TraceError):
+            loads_trace(broken)
+
+    def test_malformed_block_header_rejected(self):
+        text = "\n".join(
+            [
+                "%program x",
+                "%blocks",
+                "@block",
+                "%block-trace",
+                "",
+                "%vl-trace",
+                "",
+                "%stride-trace",
+                "",
+                "%memref-trace",
+                "",
+            ]
+        )
+        with pytest.raises(TraceError):
+            loads_trace(text)
+
+    def test_instruction_outside_block_rejected(self):
+        text = "\n".join(
+            [
+                "%program x",
+                "%blocks",
+                "nop",
+                "%block-trace",
+                "",
+                "%vl-trace",
+                "",
+                "%stride-trace",
+                "",
+                "%memref-trace",
+                "",
+            ]
+        )
+        with pytest.raises(TraceError):
+            loads_trace(text)
+
+    def test_content_before_section_rejected(self):
+        with pytest.raises(TraceError):
+            loads_trace("garbage line\n%blocks\n")

@@ -1,0 +1,140 @@
+"""Unit and property-based tests for the parameterized workload generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.generator import LoopSpec, WorkloadSpec, build_workload
+from repro.workloads.stats import measure_program
+
+
+def simple_spec(**overrides):
+    defaults = dict(
+        name="custom",
+        vector_instructions=300,
+        scalar_instructions=200,
+        loops=(LoopSpec("triad", 64, 0.6), LoopSpec("dot_reduce", 32, 0.4)),
+        scalar_loop_fraction=0.3,
+        outer_passes=2,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestWorkloadSpecValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            simple_spec(vector_instructions=-1)
+
+    def test_vector_without_loops_rejected(self):
+        with pytest.raises(WorkloadError):
+            simple_spec(loops=())
+
+    def test_bad_scalar_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            simple_spec(scalar_loop_fraction=1.5)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            simple_spec(loops=(LoopSpec("triad", 64, 0.3),))
+
+    def test_bad_loop_spec(self):
+        with pytest.raises(WorkloadError):
+            LoopSpec("triad", 0, 1.0)
+        with pytest.raises(WorkloadError):
+            LoopSpec("triad", 64, 0.0)
+
+    def test_expected_average_vl(self):
+        spec = simple_spec()
+        assert spec.expected_average_vl == pytest.approx(64 * 0.6 + 32 * 0.4)
+
+    def test_expected_vectorization_monotone_in_vector_count(self):
+        low = simple_spec(vector_instructions=100).expected_vectorization
+        high = simple_spec(vector_instructions=1000).expected_vectorization
+        assert high > low
+
+
+class TestBuildWorkload:
+    def test_counts_close_to_targets(self):
+        spec = simple_spec(vector_instructions=500, scalar_instructions=400)
+        stats = measure_program(build_workload(spec))
+        assert stats.vector_instructions == pytest.approx(500, rel=0.15)
+        assert stats.scalar_instructions == pytest.approx(400, rel=0.35)
+
+    def test_average_vl_close_to_mix(self):
+        spec = simple_spec()
+        stats = measure_program(build_workload(spec))
+        assert stats.average_vector_length == pytest.approx(spec.expected_average_vl, rel=0.1)
+
+    def test_scalar_only_workload(self):
+        spec = WorkloadSpec(
+            name="scalar-only",
+            vector_instructions=0,
+            scalar_instructions=150,
+            loops=(),
+            scalar_loop_fraction=1.0,
+        )
+        stats = measure_program(build_workload(spec))
+        assert stats.vector_instructions == 0
+        assert stats.scalar_instructions == pytest.approx(150, rel=0.1)
+
+    def test_kernel_mix_is_respected(self):
+        spec = simple_spec(loops=(LoopSpec("gather_update", 32, 1.0),))
+        stats = measure_program(build_workload(spec))
+        assert stats.gather_scatter_instructions > 0
+
+    def test_deterministic(self):
+        spec = simple_spec()
+        first = list(build_workload(spec).instructions())
+        second = list(build_workload(spec).instructions())
+        assert first == second
+
+    def test_empty_workload_rejected(self):
+        spec = WorkloadSpec(
+            name="empty",
+            vector_instructions=0,
+            scalar_instructions=3,
+            loops=(),
+        )
+        with pytest.raises(WorkloadError):
+            build_workload(spec)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        vector=st.integers(min_value=50, max_value=800),
+        scalar=st.integers(min_value=50, max_value=800),
+        vl=st.integers(min_value=4, max_value=128),
+    )
+    def test_generated_workloads_are_well_formed(self, vector, scalar, vl):
+        spec = WorkloadSpec(
+            name="prop",
+            vector_instructions=vector,
+            scalar_instructions=scalar,
+            loops=(LoopSpec("triad", vl, 1.0),),
+            scalar_loop_fraction=0.3,
+        )
+        program = build_workload(spec)
+        stats = measure_program(program)
+        # every vector instruction carries the requested vector length
+        assert stats.average_vector_length == pytest.approx(vl, rel=0.01)
+        # the stream is non-empty and dominated by the requested mix
+        assert stats.total_instructions > 0
+        assert stats.vector_instructions > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0))
+    def test_scalar_loop_fraction_never_breaks_generation(self, fraction):
+        spec = WorkloadSpec(
+            name="prop2",
+            vector_instructions=200,
+            scalar_instructions=300,
+            loops=(LoopSpec("stencil3", 48, 1.0),),
+            scalar_loop_fraction=fraction,
+        )
+        stats = measure_program(build_workload(spec))
+        assert stats.scalar_instructions > 0
