@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import BatchRunner
 from repro.experiments.runner import ExperimentContext, ExperimentSettings
 
 
@@ -52,7 +53,11 @@ def experiment_context(request) -> ExperimentContext:
             ),
             max_groups_per_size=1,
         )
-    return ExperimentContext(settings)
+    # No run cache: each figure benchmark must time real simulation work, not
+    # cache hits left behind by whichever benchmark happened to run earlier.
+    # (The intra-context sharing of grouping runs between figures 6-8 is part
+    # of the methodology and is kept.)
+    return ExperimentContext(settings, batch=BatchRunner(jobs=1, cache=None))
 
 
 def run_and_print(benchmark, experiment_id: str, context: ExperimentContext) -> None:

@@ -1,0 +1,52 @@
+"""Micro-benchmark: serial vs multi-process `run_batch` on a fixed request list.
+
+Not a paper figure — this tracks the trajectory of the parallel execution
+path: the same request list (every benchmark program alone on the reference
+machine at two memory latencies) is executed with ``jobs=1``, ``jobs=2`` and
+``jobs=4``, and the recorded wall-clock times show how much of the fan-out the
+current host turns into a speedup.  On a single-core CI runner the parallel
+runs only measure the process-pool overhead; on a laptop the ``full`` preset
+of the CLI sees the same ratio these numbers predict.
+
+No speedup is *asserted* (the suite must stay green on one-core containers);
+correctness is: every parallel run must be result-for-result identical to the
+serial one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SimulationRequest, run_batch
+from repro.workloads import build_suite
+
+#: Workload scale for the request list (a few thousand instructions each).
+SCALE = 0.1
+LATENCIES = (1, 50)
+
+
+@pytest.fixture(scope="module")
+def requests() -> list[SimulationRequest]:
+    suite = build_suite(scale=SCALE)
+    return [
+        SimulationRequest.single(
+            "reference", program, memory_latency=latency, tag=f"{name}@{latency}"
+        )
+        for latency in LATENCIES
+        for name, program in suite.items()
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_cycles(requests) -> list[int]:
+    return [result.cycles for result in run_batch(requests, jobs=1)]
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_batch_scaling(benchmark, requests, serial_cycles, jobs):
+    results = benchmark.pedantic(
+        run_batch, args=(requests,), kwargs={"jobs": jobs}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["requests"] = len(requests)
+    assert [result.cycles for result in results] == serial_cycles

@@ -17,7 +17,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import MachineConfig, MultithreadedSimulator, ReferenceSimulator
+from repro import Machine
 from repro.trace import dump_trace, load_trace, trace_program
 from repro.workloads import LoopSpec, WorkloadSpec, build_workload, measure_program
 
@@ -60,14 +60,14 @@ def main() -> None:
         # --- step (c): feed the stored trace to the simulators
         replayed = load_trace(trace_path)
 
-    reference = ReferenceSimulator(MachineConfig.reference(50)).run(replayed)
+    reference = Machine.named("reference", memory_latency=50).run(replayed)
     print("\n--- reference machine (from the stored trace) ---")
     print(f"cycles: {reference.cycles:,d}   port occupancy: {reference.memory_port_occupancy:.1%}   "
           f"VOPC: {reference.vopc:.2f}")
 
     # run two copies of the solver on the 2-context multithreaded machine
-    multithreaded = MultithreadedSimulator(MachineConfig.multithreaded(2, 50))
-    threaded = multithreaded.run_job_queue([replayed, replayed])
+    multithreaded = Machine.named("multithreaded-2", memory_latency=50)
+    threaded = multithreaded.run_queue([replayed, replayed])
     print("\n--- multithreaded machine, two solver instances (fixed work) ---")
     print(f"cycles: {threaded.cycles:,d}   port occupancy: {threaded.memory_port_occupancy:.1%}   "
           f"VOPC: {threaded.vopc:.2f}")

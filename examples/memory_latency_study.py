@@ -7,6 +7,10 @@ to 100 cycles over the ten-program fixed workload and prints the execution
 time of the sequential baseline, the 2- and 4-context multithreaded machines
 and the dependence-free IDEAL bound.
 
+Every series is executed as one batch through a shared
+:class:`repro.BatchRunner`, so the sweep fans out over ``JOBS`` worker
+processes and the points shared between series come from the run cache.
+
 Run with::
 
     python examples/memory_latency_study.py
@@ -14,16 +18,19 @@ Run with::
 
 from __future__ import annotations
 
+from repro import BatchRunner
 from repro.experiments import FixedWorkload, LatencySweep
 from repro.workloads import build_suite
 
 SCALE = 0.2
 LATENCIES = (1, 25, 50, 75, 100)
+JOBS = 4
 
 
 def main() -> None:
     print(f"building the ten-benchmark suite at scale {SCALE} ...")
-    workload = FixedWorkload(build_suite(scale=SCALE))
+    runner = BatchRunner(jobs=JOBS)
+    workload = FixedWorkload(build_suite(scale=SCALE), batch=runner)
     sweep = LatencySweep(workload)
 
     print("running the latency sweep (this takes a minute or so) ...\n")

@@ -4,7 +4,8 @@ This example reproduces, in miniature, the paper's core comparison: take a
 highly-vectorized program (the swm256 analogue), run it on the single-port
 reference architecture, then run it together with a companion program on the
 2-context multithreaded architecture, and compare execution time, memory-port
-occupation and vector operations per cycle.
+occupation and vector operations per cycle.  Both machines are obtained from
+the model registry through the unified :class:`repro.Machine` facade.
 
 Run with::
 
@@ -13,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import MachineConfig, MultithreadedSimulator, ReferenceSimulator
+from repro import Machine
 from repro.workloads import build_benchmark, measure_program
 
 #: Workload scale: 0.3 gives a few thousand instructions per program, which a
@@ -34,7 +35,7 @@ def main() -> None:
         )
 
     # 2. Run swm256 alone on the reference architecture (one memory port).
-    reference = ReferenceSimulator(MachineConfig.reference(MEMORY_LATENCY))
+    reference = Machine.named("reference", memory_latency=MEMORY_LATENCY)
     baseline = reference.run(swm256)
     print("\n--- reference architecture (single context) ---")
     print(f"execution time        : {baseline.cycles:10,d} cycles")
@@ -43,7 +44,7 @@ def main() -> None:
 
     # 3. Run swm256 together with tomcatv on the 2-context multithreaded machine.
     #    Thread 0 runs swm256 to completion; tomcatv restarts as needed.
-    multithreaded = MultithreadedSimulator(MachineConfig.multithreaded(2, MEMORY_LATENCY))
+    multithreaded = Machine.named("multithreaded-2", memory_latency=MEMORY_LATENCY)
     threaded = multithreaded.run_group([swm256, tomcatv])
     print("\n--- multithreaded architecture (2 contexts) ---")
     print(f"execution time        : {threaded.cycles:10,d} cycles")

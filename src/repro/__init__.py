@@ -9,22 +9,44 @@ The package implements, in pure Python:
 * the memory subsystem with its single shared address port (:mod:`repro.memory`),
 * cycle-level simulators of the reference, multithreaded and dual-scalar
   machines (:mod:`repro.core`),
+* the unified simulation API — machine-model registry, :class:`Machine`
+  facade, batched parallel execution and run caching (:mod:`repro.api`),
 * the experiment harness that regenerates every table and figure of the
   paper's evaluation (:mod:`repro.experiments`).
 
 Quick start::
 
-    from repro import MachineConfig, MultithreadedSimulator, ReferenceSimulator
+    from repro import Machine, SimulationRequest, run_batch
     from repro.workloads import build_benchmark
 
-    program = build_benchmark("swm256", scale=0.5)
-    baseline = ReferenceSimulator().run(program)
-    threaded = MultithreadedSimulator(MachineConfig.multithreaded(2)).run_group(
-        [program, build_benchmark("tomcatv", scale=0.5)]
-    )
+    swm256 = build_benchmark("swm256", scale=0.5)
+    tomcatv = build_benchmark("tomcatv", scale=0.5)
+
+    baseline = Machine.named("reference").run(swm256)
+    threaded = Machine.named("multithreaded-2").run_group([swm256, tomcatv])
     print(baseline.cycles, threaded.memory_port_occupancy)
+
+    # hundreds of independent simulations?  Describe them declaratively and
+    # fan them out over worker processes:
+    results = run_batch(
+        [
+            SimulationRequest.single("reference", program, memory_latency=latency)
+            for program in (swm256, tomcatv)
+            for latency in (1, 50, 100)
+        ],
+        jobs=4,
+    )
 """
 
+from repro.api import (
+    BatchRunner,
+    Machine,
+    RunCache,
+    SimulationRequest,
+    model_names,
+    register_model,
+    run_batch,
+)
 from repro.core import (
     DualScalarSimulator,
     IdealMachineModel,
@@ -46,24 +68,31 @@ from repro.errors import (
     TraceError,
     WorkloadError,
 )
+from repro.experiments.runner import ExperimentContext, ExperimentSettings
 from repro.workloads import build_benchmark, build_suite, build_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AssemblyError",
+    "BatchRunner",
     "ConfigurationError",
     "DualScalarSimulator",
+    "ExperimentContext",
     "ExperimentError",
+    "ExperimentSettings",
     "IdealMachineModel",
     "IsaError",
     "Job",
     "LatencyTable",
+    "Machine",
     "MachineConfig",
     "MultithreadedSimulator",
     "ReferenceSimulator",
     "ReproError",
+    "RunCache",
     "SimulationError",
+    "SimulationRequest",
     "SimulationResult",
     "TraceError",
     "WorkloadError",
@@ -71,5 +100,8 @@ __all__ = [
     "build_benchmark",
     "build_suite",
     "build_workload",
+    "model_names",
+    "register_model",
+    "run_batch",
     "simulate_program",
 ]

@@ -1,0 +1,311 @@
+"""Batched simulation: fan independent runs out over worker processes.
+
+The paper's evaluation is hundreds of independent simulations (ten programs ×
+four machines × a grid of memory latencies); this module executes such a set
+as one *batch*:
+
+* a :class:`SimulationRequest` is a declarative, picklable description of one
+  simulation — which machine (registry name or
+  :class:`~repro.core.config.MachineConfig`), which workloads, and which
+  execution mode (``single`` / ``group`` / ``queue``);
+* :func:`run_batch` executes a sequence of requests, optionally over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=N``), and returns
+  the results **in request order** regardless of which worker finished first,
+  so parallel and serial execution are result-for-result identical;
+* an optional :class:`~repro.api.cache.RunCache` short-circuits requests whose
+  (configuration, workload, mode) content hash was already simulated —
+  including duplicates *within* one batch, which are simulated only once.
+
+Requests that cannot be pickled (e.g. a :class:`~repro.core.suppliers.Job`
+built around a closure) are transparently executed in-process instead of
+being shipped to a worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.api.cache import RunCache, request_key
+from repro.api.machine import BUILTIN_MODEL_NAMES, Machine
+from repro.core.config import MachineConfig
+from repro.core.results import SimulationResult
+from repro.core.suppliers import Job
+from repro.errors import ConfigurationError
+from repro.trace.records import TraceSet
+from repro.workloads.program import Program
+
+__all__ = ["BatchRunner", "SimulationRequest", "run_batch"]
+
+Workload = Job | Program | TraceSet
+
+#: The execution modes a request may ask for.
+REQUEST_MODES = ("single", "group", "queue")
+
+
+@dataclass(frozen=True)
+class SimulationRequest:
+    """A declarative description of one simulation to perform.
+
+    Parameters
+    ----------
+    machine:
+        A registered model name (``"multithreaded-2"``) or an explicit
+        :class:`~repro.core.config.MachineConfig`.
+    workloads:
+        The workloads to run; exactly one for ``mode="single"``.
+    mode:
+        ``"single"`` (:meth:`Machine.run`), ``"group"``
+        (:meth:`Machine.run_group`) or ``"queue"`` (:meth:`Machine.run_queue`).
+    instruction_limit:
+        Optional dispatch limit for single runs (the fractional reference runs
+        of the speedup methodology).
+    restart_companions:
+        Whether group runs restart companion programs (section 4.1).
+    options:
+        Keyword options passed to the registry factory when ``machine`` is a
+        name (``(("memory_latency", 70),)``); ignored for explicit configs.
+    tag:
+        Free-form caller bookkeeping, carried through untouched.
+    """
+
+    machine: str | MachineConfig
+    workloads: tuple[Workload, ...]
+    mode: str = "single"
+    instruction_limit: int | None = None
+    restart_companions: bool = True
+    options: tuple[tuple[str, object], ...] = ()
+    tag: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in REQUEST_MODES:
+            raise ConfigurationError(
+                f"unknown request mode {self.mode!r}; expected one of {REQUEST_MODES}"
+            )
+        if not self.workloads:
+            raise ConfigurationError("a simulation request needs at least one workload")
+        if self.mode == "single" and len(self.workloads) != 1:
+            raise ConfigurationError(
+                f"mode='single' takes exactly one workload, got {len(self.workloads)}"
+            )
+        if self.instruction_limit is not None and self.mode != "single":
+            raise ConfigurationError("instruction_limit only applies to mode='single'")
+
+    # -- convenience constructors ---------------------------------------- #
+    @classmethod
+    def single(
+        cls,
+        machine: str | MachineConfig,
+        workload: Workload,
+        *,
+        instruction_limit: int | None = None,
+        tag: str | None = None,
+        **options,
+    ) -> "SimulationRequest":
+        """One workload alone on the machine."""
+        return cls(
+            machine=machine,
+            workloads=(workload,),
+            mode="single",
+            instruction_limit=instruction_limit,
+            options=tuple(sorted(options.items())),
+            tag=tag,
+        )
+
+    @classmethod
+    def group(
+        cls,
+        machine: str | MachineConfig,
+        workloads: Sequence[Workload],
+        *,
+        restart_companions: bool = True,
+        tag: str | None = None,
+        **options,
+    ) -> "SimulationRequest":
+        """A groupings-methodology run (one workload per context)."""
+        return cls(
+            machine=machine,
+            workloads=tuple(workloads),
+            mode="group",
+            restart_companions=restart_companions,
+            options=tuple(sorted(options.items())),
+            tag=tag,
+        )
+
+    @classmethod
+    def queue(
+        cls,
+        machine: str | MachineConfig,
+        workloads: Sequence[Workload],
+        *,
+        tag: str | None = None,
+        **options,
+    ) -> "SimulationRequest":
+        """A fixed-workload run (shared job queue)."""
+        return cls(
+            machine=machine,
+            workloads=tuple(workloads),
+            mode="queue",
+            options=tuple(sorted(options.items())),
+            tag=tag,
+        )
+
+    # ------------------------------------------------------------------ #
+    def build_machine(self, *, cache: RunCache | None = None) -> Machine:
+        """Construct the :class:`Machine` this request targets."""
+        if isinstance(self.machine, MachineConfig):
+            return Machine.from_config(self.machine, cache=cache)
+        return Machine.named(self.machine, cache=cache, **dict(self.options))
+
+    def cache_key(self) -> tuple:
+        """The content-hash key identifying this request's simulation."""
+        config = self.build_machine().config
+        return request_key(
+            config,
+            self.mode,
+            self.workloads,
+            instruction_limit=self.instruction_limit,
+            restart_companions=self.restart_companions if self.mode == "group" else True,
+        )
+
+
+def _execute_request(request: SimulationRequest) -> SimulationResult:
+    """Run one request to completion (also the worker-process entry point)."""
+    machine = request.build_machine()
+    if request.mode == "single":
+        return machine.run(
+            request.workloads[0], instruction_limit=request.instruction_limit
+        )
+    if request.mode == "group":
+        return machine.run_group(
+            request.workloads, restart_companions=request.restart_companions
+        )
+    return machine.run_queue(request.workloads)
+
+
+def _execute_pickled(payload: bytes) -> SimulationResult:
+    """Worker-process entry point: requests arrive pre-pickled by the parent."""
+    return _execute_request(pickle.loads(payload))
+
+
+def _ship_payload(request: SimulationRequest) -> bytes | None:
+    """The request pickled for a worker, or ``None`` if it must run in-process.
+
+    Two reasons to keep a request local: its workloads cannot be pickled at
+    all (a :class:`~repro.core.suppliers.Job` around a closure), or it names a
+    user-registered model on a platform whose worker processes *spawn* — a
+    fresh interpreter only re-registers the built-in models, so only those
+    names resolve in the worker (a fork start method inherits the parent's
+    registry and can ship any name).
+    """
+    if isinstance(request.machine, str) and request.machine not in BUILTIN_MODEL_NAMES:
+        if multiprocessing.get_start_method(allow_none=False) != "fork":
+            return None
+    try:
+        return pickle.dumps(request)
+    except Exception:
+        return None
+
+
+def run_batch(
+    requests: Iterable[SimulationRequest],
+    *,
+    jobs: int = 1,
+    cache: RunCache | None = None,
+) -> list[SimulationResult]:
+    """Execute every request and return the results in request order.
+
+    ``jobs`` bounds the number of worker processes; ``jobs=1`` (the default)
+    runs everything serially in-process.  Results are deterministic: entry
+    *i* of the returned list always belongs to request *i*, and a parallel
+    batch produces exactly the same results as a serial one.
+    """
+    requests = list(requests)
+    if jobs < 1:
+        raise ConfigurationError("jobs must be at least 1")
+    results: list[SimulationResult | None] = [None] * len(requests)
+
+    # Resolve cache hits (and duplicates within the batch) first.
+    pending: list[int] = []
+    keys: list[tuple | None] = [None] * len(requests)
+    primary_for_key: dict[tuple, int] = {}
+    duplicates: list[int] = []
+    if cache is not None:
+        for index, request in enumerate(requests):
+            key = request.cache_key()
+            keys[index] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+            elif key in primary_for_key:
+                duplicates.append(index)
+            else:
+                primary_for_key[key] = index
+                pending.append(index)
+    else:
+        pending = list(range(len(requests)))
+
+    # Execute the misses: over a process pool when asked to, in-process
+    # otherwise (and always in-process for unpicklable requests).
+    local: list[int] = []
+    if jobs > 1 and len(pending) > 1:
+        payloads = {index: _ship_payload(requests[index]) for index in pending}
+        shippable = [index for index in pending if payloads[index] is not None]
+        local = [index for index in pending if payloads[index] is None]
+        if len(shippable) > 1:
+            workers = min(jobs, len(shippable))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for index, result in zip(
+                    shippable,
+                    pool.map(_execute_pickled, [payloads[i] for i in shippable]),
+                ):
+                    results[index] = result
+        else:
+            local = pending
+    else:
+        local = pending
+    for index in local:
+        results[index] = _execute_request(requests[index])
+
+    # Record the fresh results and materialize within-batch duplicates.
+    if cache is not None:
+        for index in pending:
+            cache.put(keys[index], results[index])
+        for index in duplicates:
+            primary = results[primary_for_key[keys[index]]]
+            results[index] = pickle.loads(pickle.dumps(primary))
+    return results  # type: ignore[return-value]
+
+
+@dataclass
+class BatchRunner:
+    """A reusable (parallelism, cache) pair for executing simulation batches.
+
+    The experiment harness threads one :class:`BatchRunner` through every
+    experiment so all of them share one run cache and one ``--jobs`` setting;
+    library users can do the same::
+
+        runner = BatchRunner(jobs=4, cache=RunCache())
+        results = runner.run([SimulationRequest.single("reference", program)])
+        machine = runner.machine("multithreaded-2")   # shares the cache
+    """
+
+    jobs: int = 1
+    cache: RunCache | None = field(default_factory=RunCache)
+
+    def run(self, requests: Iterable[SimulationRequest]) -> list[SimulationResult]:
+        """Execute the requests with this runner's parallelism and cache."""
+        return run_batch(requests, jobs=self.jobs, cache=self.cache)
+
+    def run_one(self, request: SimulationRequest) -> SimulationResult:
+        """Execute a single request (serially, but through the shared cache)."""
+        return run_batch([request], jobs=1, cache=self.cache)[0]
+
+    def machine(self, machine: str | MachineConfig, **options) -> Machine:
+        """A :class:`Machine` facade sharing this runner's cache."""
+        if isinstance(machine, MachineConfig):
+            return Machine.from_config(machine, cache=self.cache)
+        return Machine.named(machine, cache=self.cache, **options)

@@ -1,0 +1,149 @@
+"""In-memory run cache keyed by content fingerprints.
+
+Regenerating the paper's evaluation re-simulates the same (machine
+configuration, workload) pairs many times: figure 12 re-runs every
+multithreaded series of figure 10, figure 11 re-runs the 2-cycle-crossbar
+points it shares with figure 10, and the reference bank replays full runs the
+latency sweep already performed.  The :class:`RunCache` eliminates those
+repeats: a simulation is identified by a *content hash* of its machine
+configuration, the dynamic instruction streams of its workloads and the
+execution mode, so two structurally identical requests share one simulation
+even when they were built from distinct Python objects.
+
+Cached results are stored pickled and a fresh copy is returned on every hit,
+so callers can freely mutate what they get back (results carry mutable
+statistics) without corrupting the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import weakref
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from repro.core.config import MachineConfig
+from repro.core.reference import as_job
+from repro.core.results import SimulationResult
+from repro.core.suppliers import Job
+from repro.trace.records import TraceSet
+from repro.workloads.program import Program
+
+__all__ = [
+    "RunCache",
+    "fingerprint_config",
+    "fingerprint_workload",
+    "request_key",
+]
+
+Workload = Job | Program | TraceSet
+
+#: Identity-keyed memo of workload fingerprints (hashing a stream is O(n)).
+_workload_fingerprints: "weakref.WeakKeyDictionary[object, str]" = weakref.WeakKeyDictionary()
+
+
+def fingerprint_config(config: MachineConfig) -> str:
+    """Content hash of a machine configuration.
+
+    ``MachineConfig`` is a frozen dataclass of plain values, so its pickle is
+    deterministic within a process and identifies the configuration by value.
+    """
+    return hashlib.sha256(pickle.dumps(config)).hexdigest()
+
+
+def _hash_stream(job: Job) -> str:
+    digest = hashlib.sha256()
+    digest.update(job.name.encode())
+    for instruction in job.open_stream():
+        digest.update(repr(instruction).encode())
+    return digest.hexdigest()
+
+
+def fingerprint_workload(workload: Workload) -> str:
+    """Content hash of a workload's name and dynamic instruction stream.
+
+    Two workloads with identical streams fingerprint identically regardless of
+    how they were built (``Program``, ``TraceSet`` or ``Job``), which is what
+    lets a trace replay hit the cache entry of the program it was traced from.
+    """
+    try:
+        cached = _workload_fingerprints.get(workload)
+    except TypeError:  # not weak-referenceable
+        cached = None
+    if cached is not None:
+        return cached
+    fingerprint = _hash_stream(as_job(workload))
+    try:
+        _workload_fingerprints[workload] = fingerprint
+    except TypeError:
+        pass
+    return fingerprint
+
+
+def request_key(
+    config: MachineConfig,
+    mode: str,
+    workloads: Iterable[Workload],
+    *,
+    instruction_limit: int | None = None,
+    restart_companions: bool = True,
+) -> tuple:
+    """Cache key identifying one simulation by content."""
+    return (
+        fingerprint_config(config),
+        mode,
+        tuple(fingerprint_workload(workload) for workload in workloads),
+        instruction_limit,
+        restart_companions,
+    )
+
+
+class RunCache:
+    """An in-memory, content-addressed cache of :class:`SimulationResult`\\ s.
+
+    Entries are evicted least-recently-used once ``max_entries`` is exceeded
+    (the default keeps every run of a full experiment regeneration).
+    """
+
+    def __init__(self, max_entries: int | None = 4096) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: tuple) -> SimulationResult | None:
+        """A fresh copy of the cached result, or ``None`` on a miss."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return pickle.loads(payload)
+
+    def put(self, key: tuple, result: SimulationResult) -> None:
+        """Store one simulation result (a pickled snapshot, not the object)."""
+        self._entries[key] = pickle.dumps(result)
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunCache(entries={len(self)}, hits={self.hits}, misses={self.misses})"

@@ -6,13 +6,18 @@ Regenerate one experiment at the default settings::
 
     python -m repro.cli figure6
 
-Regenerate everything quickly (reduced grouping subset, coarse latency grid)::
+Regenerate everything quickly (reduced grouping subset, coarse latency grid),
+fanning the simulations out over four worker processes::
 
-    python -m repro.cli all --preset quick
+    python -m repro.cli all --preset quick --jobs 4
 
 Run the full-fidelity sweep (slow — minutes)::
 
-    python -m repro.cli figure10 --preset full
+    python -m repro.cli figure10 --preset full --jobs 4
+
+List every experiment id with its description::
+
+    python -m repro.cli --list
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from repro.experiments.figures import ALL_EXPERIMENTS, run_experiment
 from repro.experiments.report import render_report, render_timeline
 from repro.experiments.runner import ExperimentContext, ExperimentSettings
 
-__all__ = ["main", "build_parser"]
+__all__ = ["build_parser", "list_experiments", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,17 +45,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         help=(
             "experiment ids to regenerate (e.g. table3 figure6 figure10), "
             "or 'all' for every experiment"
         ),
     )
     parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list every experiment id with a one-line description and exit",
+    )
+    parser.add_argument(
         "--preset",
         choices=["default", "quick", "full"],
         default="default",
         help="how much simulation work to perform (default: default)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan simulations out over N worker processes (default: 1, serial)",
     )
     parser.add_argument(
         "--scale",
@@ -78,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _settings_for(preset: str, scale: float | None) -> ExperimentSettings:
+def _settings_for(preset: str, scale: float | None, jobs: int) -> ExperimentSettings:
     if preset == "quick":
         settings = ExperimentSettings.quick()
     elif preset == "full":
@@ -87,7 +105,30 @@ def _settings_for(preset: str, scale: float | None) -> ExperimentSettings:
         settings = ExperimentSettings()
     if scale is not None:
         settings = settings.with_scale(scale)
+    if jobs != 1:
+        settings = settings.with_jobs(jobs)
     return settings
+
+
+def _experiment_description(experiment_id: str) -> str:
+    """First line of the experiment builder's docstring."""
+    doc = ALL_EXPERIMENTS[experiment_id].__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+def list_experiments() -> str:
+    """A rendered table of every experiment id with its description."""
+    width = max(len(name) for name in ALL_EXPERIMENTS)
+    lines = ["available experiments:"]
+    for name in ALL_EXPERIMENTS:
+        lines.append(f"  {name:<{width}}  {_experiment_description(name)}")
+    lines.append(f"  {'all':<{width}}  every experiment above, in order")
+    return "\n".join(lines)
+
+
+def _dedupe(names: Sequence[str]) -> list[str]:
+    """Drop repeated experiment ids, keeping the first occurrence's position."""
+    return list(dict.fromkeys(names))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -95,9 +136,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    requested = list(args.experiments)
+    if args.list_experiments:
+        print(list_experiments())
+        return 0
+    if not args.experiments:
+        parser.error("at least one experiment id is required (or use --list)")
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    requested = _dedupe(args.experiments)
     if "all" in requested:
-        requested = list(ALL_EXPERIMENTS)
+        position = requested.index("all")
+        requested[position : position + 1] = list(ALL_EXPERIMENTS)
+        requested = _dedupe(requested)
     unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(
@@ -105,7 +156,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"available: {', '.join(ALL_EXPERIMENTS)}, all"
         )
 
-    context = ExperimentContext(_settings_for(args.preset, args.scale))
+    context = ExperimentContext(_settings_for(args.preset, args.scale, args.jobs))
     for experiment_id in requested:
         started = time.perf_counter()
         report = run_experiment(experiment_id, context)

@@ -33,8 +33,33 @@ __all__ = [
 ]
 
 
+class _TraceStreamFactory:
+    """Picklable factory replaying a stored :class:`TraceSet`."""
+
+    def __init__(self, trace: TraceSet) -> None:
+        self._trace = trace
+
+    def __call__(self) -> Iterator[Instruction]:
+        return iter(TraceStream(self._trace))
+
+
+class _FrozenStreamFactory:
+    """Picklable factory replaying a fixed instruction tuple."""
+
+    def __init__(self, instructions: tuple[Instruction, ...]) -> None:
+        self._instructions = instructions
+
+    def __call__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+
 class Job:
-    """A named unit of work that can produce a fresh instruction stream."""
+    """A named unit of work that can produce a fresh instruction stream.
+
+    Jobs built with the class methods below are picklable (when their source
+    is), which is what lets :func:`repro.api.batch.run_batch` ship them to
+    worker processes; only jobs built around arbitrary closures are not.
+    """
 
     def __init__(self, name: str, stream_factory: Callable[[], Iterator[Instruction]]) -> None:
         self.name = name
@@ -53,13 +78,12 @@ class Job:
     @classmethod
     def from_trace(cls, trace: TraceSet) -> "Job":
         """Wrap a Dixie :class:`TraceSet` as a job."""
-        return cls(trace.program_name, lambda: iter(TraceStream(trace)))
+        return cls(trace.program_name, _TraceStreamFactory(trace))
 
     @classmethod
     def from_instructions(cls, name: str, instructions: Iterable[Instruction]) -> "Job":
         """Wrap a fixed instruction sequence as a job (materialized once)."""
-        frozen = tuple(instructions)
-        return cls(name, lambda: iter(frozen))
+        return cls(name, _FrozenStreamFactory(tuple(instructions)))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Job({self.name!r})"

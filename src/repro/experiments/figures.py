@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.batch import SimulationRequest
 from repro.core.config import LatencyTable, MachineConfig
-from repro.core.reference import ReferenceSimulator
 from repro.core.statistics import FU_STATE_NAMES
 from repro.experiments.groupings import DEFAULT_GROUPING_TABLE
 from repro.experiments.runner import ExperimentContext
@@ -160,13 +160,21 @@ def table3(context: ExperimentContext | None = None) -> ExperimentReport:
 # figures 4 and 5: the reference architecture's bottlenecks
 # --------------------------------------------------------------------------- #
 def _reference_runs(context: ExperimentContext):
-    """Run every benchmark alone on the reference machine at each figure-4 latency."""
-    runs = {}
+    """Run every benchmark alone on the reference machine at each figure-4 latency.
+
+    All (program, latency) combinations are executed as a single batch through
+    the context's runner, so they fan out over ``--jobs`` worker processes and
+    repeats across figures 4 and 5 are served from the run cache.
+    """
+    keys = []
+    requests = []
     for latency in context.settings.reference_latencies:
-        simulator = ReferenceSimulator(MachineConfig.reference(latency))
+        config = MachineConfig.reference(latency)
         for name, program in context.programs.items():
-            runs[(name, latency)] = simulator.run(program)
-    return runs
+            keys.append((name, latency))
+            requests.append(SimulationRequest.single(config, program, tag=name))
+    results = context.run_batch(requests)
+    return dict(zip(keys, results))
 
 
 def figure4(context: ExperimentContext | None = None) -> ExperimentReport:

@@ -12,11 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.batch import BatchRunner, SimulationRequest
 from repro.core.config import MachineConfig
-from repro.core.dual_scalar import DualScalarSimulator
 from repro.core.ideal import IdealMachineModel
-from repro.core.multithreaded import MultithreadedSimulator
-from repro.core.reference import ReferenceSimulator
 from repro.core.results import SimulationResult
 from repro.core.statistics import JobRecord
 from repro.core.suppliers import Job
@@ -64,6 +62,7 @@ class FixedWorkload:
         programs: dict[str, Program],
         *,
         order: tuple[str, ...] = FIXED_WORKLOAD_ORDER,
+        batch: BatchRunner | None = None,
     ) -> None:
         missing = [name for name in order if name not in programs]
         if missing:
@@ -72,6 +71,7 @@ class FixedWorkload:
             )
         self.order = order
         self.programs = programs
+        self.batch = batch or BatchRunner()
         self._jobs = [Job.from_program(programs[name]) for name in order]
 
     # ------------------------------------------------------------------ #
@@ -101,16 +101,45 @@ class FixedWorkload:
             timeline=self._timeline(result),
         )
 
-    # ------------------------------------------------------------------ #
-    def run_baseline(self, memory_latency: int) -> FixedWorkloadRun:
-        """Run the ten programs sequentially on the reference machine."""
-        simulator = ReferenceSimulator(MachineConfig.reference(memory_latency))
+    # -- request builders (used here and by the latency sweep) ----------- #
+    def baseline_requests(self, memory_latency: int) -> list[SimulationRequest]:
+        """One single-program reference request per job of the workload."""
+        config = MachineConfig.reference(memory_latency)
+        return [
+            SimulationRequest.single(config, job, tag=job.name) for job in self._jobs
+        ]
+
+    def multithreaded_request(
+        self,
+        num_contexts: int,
+        memory_latency: int,
+        *,
+        crossbar_latency: int = 2,
+        scheduler: str = "unfair",
+    ) -> SimulationRequest:
+        """The queue-mode request for the N-context multithreaded machine."""
+        config = MachineConfig.multithreaded(
+            num_contexts,
+            memory_latency,
+            crossbar_latency=crossbar_latency,
+            scheduler=scheduler,
+        )
+        return SimulationRequest.queue(config, self._jobs, tag=config.name)
+
+    def dual_scalar_request(self, memory_latency: int) -> SimulationRequest:
+        """The queue-mode request for the dual-scalar machine."""
+        config = MachineConfig.dual_scalar_fujitsu(memory_latency)
+        return SimulationRequest.queue(config, self._jobs, tag=config.name)
+
+    def combine_baseline(
+        self, memory_latency: int, results: list[SimulationResult]
+    ) -> FixedWorkloadRun:
+        """Aggregate per-program reference runs into one sequential-baseline run."""
         total_cycles = 0
         busy = 0
         vector_ops = 0
         timeline: list[TimelineEntry] = []
-        for job in self._jobs:
-            result = simulator.run(job)
+        for job, result in zip(self._jobs, results):
             timeline.append(
                 TimelineEntry(
                     program=job.name,
@@ -134,6 +163,12 @@ class FixedWorkload:
             timeline=timeline,
         )
 
+    # ------------------------------------------------------------------ #
+    def run_baseline(self, memory_latency: int) -> FixedWorkloadRun:
+        """Run the ten programs sequentially on the reference machine."""
+        results = self.batch.run(self.baseline_requests(memory_latency))
+        return self.combine_baseline(memory_latency, results)
+
     def run_multithreaded(
         self,
         num_contexts: int,
@@ -143,20 +178,18 @@ class FixedWorkload:
         scheduler: str = "unfair",
     ) -> FixedWorkloadRun:
         """Run the job list on a multithreaded machine with ``num_contexts`` contexts."""
-        config = MachineConfig.multithreaded(
+        request = self.multithreaded_request(
             num_contexts,
             memory_latency,
             crossbar_latency=crossbar_latency,
             scheduler=scheduler,
         )
-        result = MultithreadedSimulator(config).run_job_queue(self._jobs)
+        result = self.batch.run_one(request)
         return self._wrap(result, f"multithreaded-{num_contexts}", memory_latency)
 
     def run_dual_scalar(self, memory_latency: int) -> FixedWorkloadRun:
         """Run the job list on the Fujitsu-style dual-scalar machine (section 9)."""
-        result = DualScalarSimulator(
-            MachineConfig.dual_scalar_fujitsu(memory_latency)
-        ).run_job_queue(self._jobs)
+        result = self.batch.run_one(self.dual_scalar_request(memory_latency))
         return self._wrap(result, "dual-scalar", memory_latency)
 
     def ideal_cycles(self) -> int:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.batch import BatchRunner
 from repro.errors import ExperimentError
 from repro.experiments.fixed_workload import FixedWorkload
 
@@ -65,17 +66,31 @@ class SweepSeries:
 
 
 class LatencySweep:
-    """Runs the fixed workload across memory latencies and machine variants."""
+    """Runs the fixed workload across memory latencies and machine variants.
 
-    def __init__(self, workload: FixedWorkload) -> None:
+    Every series is executed as **one batch** of simulation requests through
+    the shared :class:`~repro.api.batch.BatchRunner`, so with ``jobs=N`` the
+    points of a sweep run on N cores, and points shared between figures
+    (figure 12 reuses every multithreaded series of figure 10) come from the
+    run cache instead of being re-simulated.
+    """
+
+    def __init__(self, workload: FixedWorkload, *, batch: BatchRunner | None = None) -> None:
         self.workload = workload
+        self.batch = batch or workload.batch
 
     # ------------------------------------------------------------------ #
     def baseline_series(self, latencies: tuple[int, ...] = DEFAULT_LATENCIES) -> SweepSeries:
         """Execution time of the sequential baseline at each latency."""
-        series = SweepSeries("baseline")
+        requests = []
         for latency in latencies:
-            series.add(latency, self.workload.run_baseline(latency).cycles)
+            requests.extend(self.workload.baseline_requests(latency))
+        results = self.batch.run(requests)
+        per_latency = len(results) // len(latencies) if latencies else 0
+        series = SweepSeries("baseline")
+        for index, latency in enumerate(latencies):
+            chunk = results[index * per_latency : (index + 1) * per_latency]
+            series.add(latency, self.workload.combine_baseline(latency, chunk).cycles)
         return series
 
     def multithreaded_series(
@@ -90,22 +105,28 @@ class LatencySweep:
         label = f"{num_contexts} threads"
         if crossbar_latency != 2:
             label += f" (xbar {crossbar_latency})"
-        series = SweepSeries(label)
-        for latency in latencies:
-            run = self.workload.run_multithreaded(
+        requests = [
+            self.workload.multithreaded_request(
                 num_contexts,
                 latency,
                 crossbar_latency=crossbar_latency,
                 scheduler=scheduler,
             )
-            series.add(latency, run.cycles)
+            for latency in latencies
+        ]
+        results = self.batch.run(requests)
+        series = SweepSeries(label)
+        for latency, result in zip(latencies, results):
+            series.add(latency, result.cycles)
         return series
 
     def dual_scalar_series(self, latencies: tuple[int, ...] = DEFAULT_LATENCIES) -> SweepSeries:
         """Execution time of the Fujitsu-style dual-scalar machine at each latency."""
+        requests = [self.workload.dual_scalar_request(latency) for latency in latencies]
+        results = self.batch.run(requests)
         series = SweepSeries("dual scalar")
-        for latency in latencies:
-            series.add(latency, self.workload.run_dual_scalar(latency).cycles)
+        for latency, result in zip(latencies, results):
+            series.add(latency, result.cycles)
         return series
 
     def ideal_series(self, latencies: tuple[int, ...] = DEFAULT_LATENCIES) -> SweepSeries:
@@ -125,11 +146,19 @@ class LatencySweep:
         slow_crossbar: int = 3,
     ) -> dict[int, float]:
         """Figure 11: slowdown of a ``slow_crossbar``-cycle crossbar vs the 2-cycle one."""
-        slowdowns: dict[int, float] = {}
+        requests = []
         for latency in latencies:
-            fast = self.workload.run_multithreaded(num_contexts, latency, crossbar_latency=2)
-            slow = self.workload.run_multithreaded(
-                num_contexts, latency, crossbar_latency=slow_crossbar
+            requests.append(
+                self.workload.multithreaded_request(num_contexts, latency, crossbar_latency=2)
             )
+            requests.append(
+                self.workload.multithreaded_request(
+                    num_contexts, latency, crossbar_latency=slow_crossbar
+                )
+            )
+        results = self.batch.run(requests)
+        slowdowns: dict[int, float] = {}
+        for index, latency in enumerate(latencies):
+            fast, slow = results[2 * index], results[2 * index + 1]
             slowdowns[latency] = slow.cycles / fast.cycles if fast.cycles else 0.0
         return slowdowns

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.reference import ReferenceSimulator
 from repro.core.results import SimulationResult
 from repro.core.suppliers import Job
 from repro.errors import ExperimentError
@@ -34,17 +33,23 @@ class ReferenceBank:
     to execute only its first *n* instructions (for partially-completed
     companion runs).  Full runs are cached; partial runs are computed on
     demand (they are comparatively rare and cheap).
+
+    The simulator may be anything with the reference run signature
+    ``run(workload, *, instruction_limit=None) -> SimulationResult`` — a
+    :class:`~repro.core.reference.ReferenceSimulator` or a reference-model
+    :class:`~repro.api.machine.Machine` (whose run cache then also serves the
+    bank's runs).
     """
 
-    def __init__(self, jobs: dict[str, Job], simulator: ReferenceSimulator) -> None:
+    def __init__(self, jobs: dict[str, Job], simulator) -> None:
         self._jobs = dict(jobs)
         self._simulator = simulator
         self._full_results: dict[str, SimulationResult] = {}
         self._partial_cache: dict[tuple[str, int], int] = {}
 
     @property
-    def simulator(self) -> ReferenceSimulator:
-        """The reference simulator used for all runs of this bank."""
+    def simulator(self):
+        """The reference-machine simulator used for all runs of this bank."""
         return self._simulator
 
     def job(self, program: str) -> Job:

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.batch import BatchRunner, SimulationRequest
 from repro.core.config import MachineConfig
-from repro.core.multithreaded import MultithreadedSimulator
-from repro.core.reference import ReferenceSimulator
+from repro.core.results import SimulationResult
 from repro.core.suppliers import Job
 from repro.errors import ExperimentError
 from repro.experiments.groupings import DEFAULT_GROUPING_TABLE, GroupingTable, grouping_plan
@@ -101,6 +101,7 @@ class GroupingExperiment:
         max_groups_per_size: int | None = None,
         context_counts: tuple[int, ...] = (2, 3, 4),
         scheduler: str = "unfair",
+        batch: BatchRunner | None = None,
     ) -> None:
         unknown = [name for name in table.two_thread_companions if name not in programs]
         self.programs = programs
@@ -109,29 +110,32 @@ class GroupingExperiment:
         self.max_groups_per_size = max_groups_per_size
         self.context_counts = context_counts
         self.scheduler = scheduler
+        self.batch = batch or BatchRunner()
         if unknown:
             raise ExperimentError(
                 "grouping companions missing from the program set: " + ", ".join(unknown)
             )
         self._jobs = {name: Job.from_program(program) for name, program in programs.items()}
-        reference = ReferenceSimulator(MachineConfig.reference(memory_latency))
+        reference = self.batch.machine(MachineConfig.reference(memory_latency))
         self.reference_bank = ReferenceBank(self._jobs, reference)
 
     # ------------------------------------------------------------------ #
-    def run_group(self, group: tuple[str, ...]) -> GroupRunMetrics:
-        """Run one multiprogrammed group (program on context 0 first)."""
-        num_contexts = len(group)
+    def _group_request(self, group: tuple[str, ...]) -> SimulationRequest:
         config = MachineConfig.multithreaded(
-            num_contexts, self.memory_latency, scheduler=self.scheduler
+            len(group), self.memory_latency, scheduler=self.scheduler
         )
-        simulator = MultithreadedSimulator(config)
         jobs = [self._jobs[name] for name in group]
-        result = simulator.run_group(jobs)
+        return SimulationRequest.group(config, jobs, tag="+".join(group))
+
+    def _metrics_for(
+        self, group: tuple[str, ...], result: SimulationResult
+    ) -> GroupRunMetrics:
+        """Derive the figure 6-8 metrics of one multithreaded group run."""
         breakdown = compute_speedup(result, self.reference_bank)
         _, ref_occupancy, ref_vopc = self.reference_bank.sequential_metrics(list(group))
         return GroupRunMetrics(
             group=group,
-            num_contexts=num_contexts,
+            num_contexts=len(group),
             multithreaded_cycles=result.cycles,
             speedup=breakdown.speedup,
             multithreaded_occupancy=result.memory_port_occupancy,
@@ -140,22 +144,41 @@ class GroupingExperiment:
             reference_vopc=ref_vopc,
         )
 
-    def run_program(self, program: str) -> list[GroupRunMetrics]:
-        """Run every group of the plan for one program."""
+    def run_group(self, group: tuple[str, ...]) -> GroupRunMetrics:
+        """Run one multiprogrammed group (program on context 0 first)."""
+        result = self.batch.run_one(self._group_request(group))
+        return self._metrics_for(group, result)
+
+    def _plan_groups(self, program: str) -> list[tuple[str, ...]]:
         plan = grouping_plan(
             program, table=self.table, max_groups_per_size=self.max_groups_per_size
         )
-        metrics: list[GroupRunMetrics] = []
+        groups: list[tuple[str, ...]] = []
         for num_contexts in self.context_counts:
-            for group in plan[num_contexts]:
-                metrics.append(self.run_group(group))
-        return metrics
+            groups.extend(plan[num_contexts])
+        return groups
+
+    def run_program(self, program: str) -> list[GroupRunMetrics]:
+        """Run every group of the plan for one program."""
+        groups = self._plan_groups(program)
+        results = self.batch.run([self._group_request(group) for group in groups])
+        return [self._metrics_for(group, result) for group, result in zip(groups, results)]
 
     def run(self, programs: list[str] | None = None) -> GroupingExperimentResult:
-        """Run the experiment for the given programs (default: all registered)."""
+        """Run the experiment for the given programs (default: all registered).
+
+        All multithreaded group runs of every selected program are executed as
+        one batch (fanned out over the runner's worker processes), then the
+        speedup metrics are derived serially in plan order, so the result is
+        identical to a serial run.
+        """
         selected = programs if programs is not None else list(self.programs)
-        result = GroupingExperimentResult(memory_latency=self.memory_latency)
+        pairs: list[tuple[str, tuple[str, ...]]] = []
         for program in selected:
-            for metrics in self.run_program(program):
-                result.add(program, metrics)
+            for group in self._plan_groups(program):
+                pairs.append((program, group))
+        results = self.batch.run([self._group_request(group) for _, group in pairs])
+        result = GroupingExperimentResult(memory_latency=self.memory_latency)
+        for (program, group), run in zip(pairs, results):
+            result.add(program, self._metrics_for(group, run))
         return result

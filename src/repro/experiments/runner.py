@@ -17,6 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.api.batch import BatchRunner, SimulationRequest
+from repro.api.cache import RunCache
+from repro.core.results import SimulationResult
 from repro.experiments.fixed_workload import FixedWorkload
 from repro.experiments.latency_sweep import CROSSBAR_LATENCIES, DEFAULT_LATENCIES, LatencySweep
 from repro.experiments.multiprogram import GroupingExperiment, GroupingExperimentResult
@@ -39,6 +42,7 @@ class ExperimentSettings:
     context_counts: tuple[int, ...] = (2, 3, 4)
     grouping_programs: tuple[str, ...] = BENCHMARK_ORDER
     max_groups_per_size: int | None = 2
+    jobs: int = 1
 
     @classmethod
     def quick(cls) -> "ExperimentSettings":
@@ -67,15 +71,35 @@ class ExperimentSettings:
         """A copy of these settings with a different workload scale."""
         return replace(self, scale=scale)
 
+    def with_jobs(self, jobs: int) -> "ExperimentSettings":
+        """A copy of these settings running simulations over ``jobs`` processes."""
+        return replace(self, jobs=jobs)
+
 
 class ExperimentContext:
     """Shared state for regenerating the paper's tables and figures."""
 
-    def __init__(self, settings: ExperimentSettings | None = None) -> None:
+    def __init__(
+        self,
+        settings: ExperimentSettings | None = None,
+        *,
+        batch: BatchRunner | None = None,
+    ) -> None:
         self.settings = settings or ExperimentSettings()
+        self.batch = batch or BatchRunner(jobs=self.settings.jobs, cache=RunCache())
         self._programs: dict[str, Program] | None = None
         self._grouping_results: dict[int, GroupingExperimentResult] = {}
         self._fixed_workload: FixedWorkload | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cache(self) -> RunCache | None:
+        """The run cache shared by every experiment of this context."""
+        return self.batch.cache
+
+    def run_batch(self, requests: list[SimulationRequest]) -> list[SimulationResult]:
+        """Execute simulation requests with the context's parallelism and cache."""
+        return self.batch.run(requests)
 
     # ------------------------------------------------------------------ #
     @property
@@ -89,12 +113,12 @@ class ExperimentContext:
     def fixed_workload(self) -> FixedWorkload:
         """The ten-program fixed workload of section 7."""
         if self._fixed_workload is None:
-            self._fixed_workload = FixedWorkload(self.programs)
+            self._fixed_workload = FixedWorkload(self.programs, batch=self.batch)
         return self._fixed_workload
 
     def latency_sweep(self) -> LatencySweep:
         """A latency sweep over the fixed workload."""
-        return LatencySweep(self.fixed_workload)
+        return LatencySweep(self.fixed_workload, batch=self.batch)
 
     # ------------------------------------------------------------------ #
     def grouping_results(self, memory_latency: int | None = None) -> GroupingExperimentResult:
@@ -105,6 +129,7 @@ class ExperimentContext:
                 self.programs,
                 memory_latency=latency,
                 max_groups_per_size=self.settings.max_groups_per_size,
+                batch=self.batch,
             )
             self._grouping_results[latency] = experiment.run(
                 list(self.settings.grouping_programs)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.figures import ALL_EXPERIMENTS
 
 
 class TestParser:
@@ -13,6 +14,15 @@ class TestParser:
         assert args.experiments == ["table1"]
         assert args.preset == "default"
         assert args.scale is None
+        assert args.jobs == 1
+        assert args.list_experiments is False
+
+    def test_jobs_and_list_flags(self):
+        args = build_parser().parse_args(["all", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["--list"])
+        assert args.list_experiments is True
+        assert args.experiments == []
 
     def test_multiple_experiments_and_options(self):
         args = build_parser().parse_args(
@@ -49,3 +59,46 @@ class TestMain:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "memory port" in captured.out.lower()
+
+    def test_repeated_experiment_ids_run_once(self, capsys):
+        exit_code = main(["table1", "table1", "table2", "table1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.count("regenerated in") == 2
+        assert captured.out.count("[table1 regenerated") == 1
+
+    def test_all_plus_explicit_id_not_run_twice(self, capsys):
+        exit_code = main(["table1", "all", "table2", "--scale", "0.05", "--preset", "quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        # 'all' expands to the full experiment list; explicit duplicates collapse
+        assert captured.out.count("regenerated in") == len(ALL_EXPERIMENTS)
+
+    def test_list_flag_prints_all_experiments(self, capsys):
+        exit_code = main(["--list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ALL_EXPERIMENTS:
+            assert name in captured.out
+        assert "Figure 10" in captured.out
+
+    def test_no_experiments_and_no_list_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_invalid_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--jobs", "0"])
+
+    def test_jobs_flag_produces_identical_report(self, capsys):
+        exit_code = main(["figure5", "--preset", "quick", "--scale", "0.05"])
+        serial = capsys.readouterr().out
+        assert exit_code == 0
+        exit_code = main(["figure5", "--preset", "quick", "--scale", "0.05", "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert exit_code == 0
+
+        def rows(text: str) -> list[str]:
+            return [line for line in text.splitlines() if "regenerated in" not in line]
+
+        assert rows(serial) == rows(parallel)
