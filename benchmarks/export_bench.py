@@ -1,0 +1,305 @@
+"""Perf-baseline harness: measure simulator throughput and export it as JSON.
+
+The reproduction note flags raw dynamic-instructions-per-second through the
+cycle-level engine as the main practical constraint of this pure-Python model,
+so the perf trajectory is tracked explicitly: this script runs the throughput
+suite (single-run reference and multithreaded models on the paper's benchmark
+analogues, plus the batch-scaling sweep of ``run_batch``) and writes
+``BENCH_throughput.json`` with the numbers and the git revision they were
+measured at.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/export_bench.py                 # write BENCH_throughput.json
+    PYTHONPATH=src python benchmarks/export_bench.py --output out.json --repeats 5
+    PYTHONPATH=src python benchmarks/export_bench.py \
+        --check-against BENCH_throughput.json --max-regression 0.30  # CI gate
+
+With ``--check-against`` the freshly measured numbers are compared entry by
+entry against a previously committed baseline and the process exits non-zero
+when any single-run throughput dropped by more than ``--max-regression``
+(default 30%).  Absolute instrs/sec depend on the host, so every export also
+records a *calibration score* (ops/sec of a fixed pure-Python workload) and
+the regression gate compares throughput **normalized by that score**: a
+slower CI runner lowers both numbers together and only genuine simulator
+slowdowns trip the gate.  CI uploads the fresh file as an artifact either
+way so the trajectory is recorded per commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.api import SimulationRequest, run_batch
+from repro.core.config import MachineConfig
+from repro.core.multithreaded import MultithreadedSimulator
+from repro.core.reference import ReferenceSimulator
+from repro.workloads import build_benchmark, build_suite
+
+#: Benchmark-analogue programs used for the single-run throughput rows.
+SINGLE_RUN_WORKLOADS = ("hydro2d", "swm256", "tomcatv")
+#: Workload scale of the single-run rows (matches test_simulator_throughput).
+SINGLE_RUN_SCALE = 0.3
+#: Workload scale of the multithreaded group row.
+GROUP_SCALE = 0.2
+#: Workload scale of the batch-scaling rows (matches test_batch_scaling).
+BATCH_SCALE = 0.1
+BATCH_LATENCIES = (1, 50)
+BATCH_JOBS = (1, 2, 4)
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _time_run(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` (best, not mean: least noise-biased)."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return min(samples)
+
+
+#: Iterations of the fixed calibration workload.
+_CALIBRATION_ITERS = 400_000
+
+
+def _calibration_score(repeats: int = 3) -> float:
+    """Ops/sec of a fixed pure-Python workload (dict stores + int arithmetic).
+
+    The workload exercises the same interpreter operations the simulator hot
+    path is made of, so the ratio ``instrs_per_sec / calibration`` is roughly
+    host-independent and lets the regression gate compare runs from different
+    machines.
+    """
+
+    def spin() -> None:
+        table: dict[int, int] = {}
+        total = 0
+        for i in range(_CALIBRATION_ITERS):
+            total += i & 7
+            table[i & 127] = total
+
+    seconds = _time_run(spin, repeats)
+    return round(_CALIBRATION_ITERS / seconds, 1)
+
+
+# --------------------------------------------------------------------------- #
+# measurements
+# --------------------------------------------------------------------------- #
+def measure_single_runs(repeats: int) -> list[dict]:
+    """Instrs/sec of one simulation run per model and workload."""
+    entries = []
+    for name in SINGLE_RUN_WORKLOADS:
+        program = build_benchmark(name, scale=SINGLE_RUN_SCALE)
+        instructions = program.dynamic_instruction_count
+
+        def run_reference() -> None:
+            ReferenceSimulator(MachineConfig.reference(50)).run(program)
+
+        seconds = _time_run(run_reference, repeats)
+        entries.append(
+            {
+                "benchmark": "single_run_throughput",
+                "model": "reference",
+                "workload": name,
+                "instructions": instructions,
+                "seconds": round(seconds, 6),
+                "instrs_per_sec": round(instructions / seconds, 1),
+            }
+        )
+    # the multithreaded group row of test_simulator_throughput
+    programs = [build_benchmark(name, scale=GROUP_SCALE) for name in ("swm256", "tomcatv")]
+    simulator = MultithreadedSimulator(MachineConfig.multithreaded(2, 50))
+    dispatched = simulator.run_group(programs).instructions
+
+    def run_group() -> None:
+        MultithreadedSimulator(MachineConfig.multithreaded(2, 50)).run_group(programs)
+
+    seconds = _time_run(run_group, repeats)
+    entries.append(
+        {
+            "benchmark": "single_run_throughput",
+            "model": "multithreaded-2",
+            "workload": "swm256+tomcatv",
+            "instructions": dispatched,
+            "seconds": round(seconds, 6),
+            "instrs_per_sec": round(dispatched / seconds, 1),
+        }
+    )
+    return entries
+
+
+def measure_batch_scaling(repeats: int) -> list[dict]:
+    """Wall time of the fixed request list under 1, 2 and 4 worker processes."""
+    suite = build_suite(scale=BATCH_SCALE)
+    requests = [
+        SimulationRequest.single(
+            "reference", program, memory_latency=latency, tag=f"{name}@{latency}"
+        )
+        for latency in BATCH_LATENCIES
+        for name, program in suite.items()
+    ]
+    total_instructions = sum(
+        result.instructions for result in run_batch(requests, jobs=1)
+    )
+    entries = []
+    for jobs in BATCH_JOBS:
+        seconds = _time_run(lambda: run_batch(requests, jobs=jobs), repeats)
+        entries.append(
+            {
+                "benchmark": "batch_scaling",
+                "model": "reference",
+                "workload": f"suite@{BATCH_SCALE}x{len(requests)}",
+                "jobs": jobs,
+                "instructions": total_instructions,
+                "seconds": round(seconds, 6),
+                "instrs_per_sec": round(total_instructions / seconds, 1),
+            }
+        )
+    return entries
+
+
+def collect(repeats: int) -> dict:
+    """Run the full throughput suite and assemble the export document."""
+    return {
+        "schema_version": 1,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "measured_at_unix": int(time.time()),
+        "calibration_ops_per_sec": _calibration_score(),
+        "entries": measure_single_runs(repeats) + measure_batch_scaling(repeats),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# regression gate
+# --------------------------------------------------------------------------- #
+def _entry_key(entry: dict) -> tuple:
+    return (entry["benchmark"], entry["model"], entry["workload"], entry.get("jobs"))
+
+
+def check_regression(current: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Return a list of failure messages for entries slower than allowed.
+
+    When both documents carry a calibration score, throughput is normalized
+    by it before comparing, which makes the gate robust to the absolute speed
+    of the host (CI runner vs. the machine the baseline was committed from).
+    """
+    current_cal = current.get("calibration_ops_per_sec") or 0.0
+    baseline_cal = baseline.get("calibration_ops_per_sec") or 0.0
+    normalized = current_cal > 0.0 and baseline_cal > 0.0
+    baseline_by_key = {_entry_key(entry): entry for entry in baseline["entries"]}
+    failures = []
+    for entry in current["entries"]:
+        if entry["benchmark"] != "single_run_throughput":
+            # batch-scaling rows measure process-pool behaviour, which is
+            # dominated by core count on shared CI runners; record only.
+            continue
+        reference = baseline_by_key.get(_entry_key(entry))
+        if reference is None:
+            continue
+        old = reference["instrs_per_sec"]
+        new = entry["instrs_per_sec"]
+        if normalized:
+            old = old / baseline_cal
+            new = new / current_cal
+        if old > 0 and new < old * (1.0 - max_regression):
+            failures.append(
+                f"{entry['model']}/{entry['workload']}: "
+                f"{entry['instrs_per_sec']:,.0f} instrs/s "
+                f"({'host-normalized ' if normalized else ''}"
+                f"{100 * (1 - new / old):.1f}% below the baseline "
+                f"{reference['instrs_per_sec']:,.0f} "
+                f"from rev {baseline.get('git_rev', '?')})"
+            )
+    return failures
+
+
+def render_table(document: dict) -> str:
+    """Human-readable summary of the measured entries."""
+    lines = [
+        f"throughput @ {document['git_rev']} (python {document['python']})",
+        f"{'benchmark':<22} {'model':<16} {'workload':<22} {'jobs':>4} {'instrs/s':>12}",
+    ]
+    for entry in document["entries"]:
+        lines.append(
+            f"{entry['benchmark']:<22} {entry['model']:<16} {entry['workload']:<22} "
+            f"{str(entry.get('jobs', '-')):>4} {entry['instrs_per_sec']:>12,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_throughput.json",
+        help="where to write the JSON export (default: repo-root BENCH_throughput.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per entry (best-of-N)"
+    )
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        default=None,
+        help="baseline JSON to compare against; exit 1 on excessive regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="maximum tolerated single-run throughput drop (fraction, default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    document = collect(args.repeats)
+    print(render_table(document))
+
+    failures: list[str] = []
+    if args.check_against is not None:
+        if not args.check_against.exists():
+            # An explicitly requested gate with no baseline must not pass
+            # silently — that would turn the CI check into a green no-op.
+            print(
+                f"error: baseline {args.check_against} does not exist; "
+                "regenerate and commit it (or drop --check-against)",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = json.loads(args.check_against.read_text())
+        failures = check_regression(document, baseline, args.max_regression)
+
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if failures:
+        print("\nthroughput regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

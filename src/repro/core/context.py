@@ -42,6 +42,9 @@ class HardwareContext:
         self._head: Instruction | None = None
         self._finished = False
         self._current_job: Job | None = None
+        #: Dispatch-layer ready-time cache for the current head instruction:
+        #: ``(head, earliest, scoreboard_version, unit_pool_version)``.
+        self.issue_cache: tuple[Instruction, int, int, int] | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -107,16 +110,18 @@ class HardwareContext:
     def consume(self, instruction: Instruction) -> None:
         """Account for the dispatch of the current head instruction."""
         self._head = None
-        self.stats.instructions += 1
-        if self.stats.jobs:
-            self.stats.jobs[-1].instructions += 1
+        self.issue_cache = None
+        stats = self.stats
+        stats.instructions += 1
+        if stats.jobs:
+            stats.jobs[-1].instructions += 1
         if instruction.is_vector_arithmetic or instruction.is_vector_memory:
-            self.stats.vector_instructions += 1
-            self.stats.vector_operations += instruction.element_count
+            stats.vector_instructions += 1
+            stats.vector_operations += instruction.element_count
         else:
-            self.stats.scalar_instructions += 1
+            stats.scalar_instructions += 1
         if instruction.is_memory:
-            self.stats.memory_transactions += instruction.memory_transactions
+            stats.memory_transactions += instruction.memory_transactions
 
     def record_lost_cycle(self) -> None:
         """Account for a decode cycle lost to this context's blocked instruction."""

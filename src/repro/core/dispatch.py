@@ -83,13 +83,37 @@ class DispatchModel:
     def earliest_issue(
         self, context: HardwareContext, instruction: Instruction, now: int
     ) -> int:
-        """Earliest cycle at which the instruction could be dispatched."""
-        earliest = context.scoreboard.earliest_dispatch(instruction, now)
+        """Earliest cycle at which the instruction could be dispatched.
+
+        The result is cached per context head and only recomputed when state
+        that can move it has changed: a register read/write recorded on this
+        context's scoreboard, or a reservation/release on the shared vector
+        units (both tracked through monotonic version counters).  While those
+        versions are unchanged, every hazard constraint is a constant, so the
+        cached ready time ``e`` is exact and the answer at a later probe
+        cycle ``now`` is simply ``max(e, now)``.
+        """
+        scoreboard = context.scoreboard
+        units = self.vector_units
+        cached = context.issue_cache
+        if (
+            cached is not None
+            and cached[0] is instruction
+            and cached[2] == scoreboard.version
+            and cached[3] == units.version
+        ):
+            earliest = cached[1]
+            return earliest if earliest > now else now
+        earliest = scoreboard.earliest_dispatch(instruction, now)
         if instruction.is_vector_arithmetic:
-            choice = self.vector_units.arithmetic_unit_for(instruction, now)
-            earliest = max(earliest, choice.earliest)
+            unit_earliest = units.arithmetic_unit_for(instruction, now).earliest
+            if unit_earliest > earliest:
+                earliest = unit_earliest
         elif instruction.is_vector_memory:
-            earliest = max(earliest, self.vector_units.memory_unit(now).earliest)
+            unit_earliest = units.memory_unit(now).earliest
+            if unit_earliest > earliest:
+                earliest = unit_earliest
+        context.issue_cache = (instruction, earliest, scoreboard.version, units.version)
         return earliest
 
     # ------------------------------------------------------------------ #
@@ -111,8 +135,7 @@ class DispatchModel:
     def _dispatch_scalar(
         self, context: HardwareContext, instruction: Instruction, now: int
     ) -> DispatchOutcome:
-        latency_class = instruction.opcode.latency_class
-        latency = self.config.latencies.scalar_latency(latency_class)
+        latency = self.config.latencies.scalar_latency(instruction.latency_class)
         ready_at = now + latency
         for source in instruction.srcs:
             context.scoreboard.record_read(source, now, now + 1)
@@ -176,7 +199,7 @@ class DispatchModel:
                 f"vector unit {unit.name} is busy until {choice.earliest}, "
                 f"cannot dispatch at {now}"
             )
-        latency = config.latencies.vector_latency(instruction.opcode.latency_class)
+        latency = config.latencies.vector_latency(instruction.latency_class)
         read_start = now + config.vector_startup
         element_start = context.scoreboard.chain_start(instruction, read_start)
         first_result = (

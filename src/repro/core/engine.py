@@ -118,43 +118,51 @@ class SimulationEngine:
     def _run_single_decode(
         self, stop_when: StopCondition | None, max_cycles: int
     ) -> str:
+        # The inner loop runs once per decode slot; every self-attribute it
+        # touches more than once per iteration is hoisted to a local.
+        dispatch_model = self.dispatch_model
+        earliest_issue = dispatch_model.earliest_issue
+        dispatch = dispatch_model.dispatch
+        account = self._account
+        stats = self.stats
+        select = self.scheduler.select
         active: HardwareContext | None = None
         while self.cycle < max_cycles:
+            # Stop conditions are probed at the top of every decode slot, in
+            # all three run loops, so they fire at consistent points even
+            # when no head can be fetched.
+            if stop_when is not None and stop_when(self):
+                return "stop-condition"
             if active is None or active.finished:
                 active = self._pick_initial(self.cycle, previous=active)
                 if active is None:
                     return "completed"
-            head = active.head(self.cycle)
-            if stop_when is not None and stop_when(self):
-                return "stop-condition"
+            cycle = self.cycle
+            head = active.head(cycle)
             if head is None:
                 # this context ran out of work; pick another without losing a cycle
                 active = None
                 continue
-            earliest = self.dispatch_model.earliest_issue(active, head, self.cycle)
-            if earliest <= self.cycle:
-                outcome = self.dispatch_model.dispatch(active, head, self.cycle)
+            if earliest_issue(active, head, cycle) <= cycle:
+                outcome = dispatch(active, head, cycle)
                 active.consume(head)
-                self._account(outcome)
-                self.cycle += 1
+                account(outcome)
+                self.cycle = cycle + 1
                 continue
             # the active thread blocks: the decode cycle is lost and the switch
             # logic picks another non-blocked thread for the following cycle.
-            self.stats.decode_lost_cycles += 1
+            stats.decode_lost_cycles += 1
             active.record_lost_cycle()
-            self.cycle += 1
+            self.cycle = cycle + 1
             ready = self._ready_contexts(self.cycle)
             if not ready:
                 jump_to = self._earliest_unblock(self.cycle)
                 if jump_to is None:
                     return "completed"
-                jump_to = min(jump_to, max_cycles)
-                if jump_to > self.cycle:
-                    self.stats.decode_idle_cycles += jump_to - self.cycle
-                    self.cycle = jump_to
+                self._skip_blocked_window(jump_to, max_cycles)
                 ready = self._ready_contexts(self.cycle)
             if ready:
-                active = self.scheduler.select(ready, previous=active, cycle=self.cycle)
+                active = select(ready, previous=active, cycle=self.cycle)
         return "max-cycles"
 
     # ------------------------------------------------------------------ #
@@ -163,43 +171,49 @@ class SimulationEngine:
     def _run_dual_scalar(
         self, stop_when: StopCondition | None, max_cycles: int
     ) -> str:
+        contexts = self.contexts
+        dispatch_model = self.dispatch_model
+        earliest_issue = dispatch_model.earliest_issue
+        dispatch = dispatch_model.dispatch
+        account = self._account
+        stats = self.stats
         while self.cycle < max_cycles:
-            heads = []
-            for context in self.contexts:
-                if context.finished:
-                    continue
-                head = context.head(self.cycle)
-                if head is not None:
-                    heads.append((context, head))
             if stop_when is not None and stop_when(self):
                 return "stop-condition"
-            if not heads:
-                return "completed"
+            cycle = self.cycle
+            any_head = False
             vector_issued = False
             dispatched = 0
-            blocked_times = []
-            for context, head in heads:
-                earliest = self.dispatch_model.earliest_issue(context, head, self.cycle)
+            blocked_until: int | None = None
+            for context in contexts:
+                if context.finished:
+                    continue
+                head = context.head(cycle)
+                if head is None:
+                    continue
+                any_head = True
+                earliest = earliest_issue(context, head, cycle)
                 uses_vector_facility = head.is_vector_arithmetic or head.is_vector_memory
-                if earliest <= self.cycle and not (uses_vector_facility and vector_issued):
-                    outcome = self.dispatch_model.dispatch(context, head, self.cycle)
+                if earliest <= cycle and not (uses_vector_facility and vector_issued):
+                    outcome = dispatch(context, head, cycle)
                     context.consume(head)
-                    self._account(outcome)
+                    account(outcome)
                     dispatched += 1
                     if uses_vector_facility:
                         vector_issued = True
                 else:
                     context.record_lost_cycle()
-                    blocked_times.append(max(earliest, self.cycle + 1))
+                    if blocked_until is None or earliest < blocked_until:
+                        blocked_until = earliest
             if dispatched:
-                self.cycle += 1
+                self.cycle = cycle + 1
                 continue
-            self.stats.decode_lost_cycles += 1
-            jump_to = min(blocked_times) if blocked_times else self.cycle + 1
-            jump_to = max(jump_to, self.cycle + 1)
-            jump_to = min(jump_to, max_cycles)
-            self.stats.decode_idle_cycles += max(0, jump_to - self.cycle - 1)
-            self.cycle = jump_to
+            if not any_head:
+                return "completed"
+            stats.decode_lost_cycles += 1
+            self.cycle = cycle + 1
+            if blocked_until is not None:
+                self._skip_blocked_window(blocked_until, max_cycles)
         return "max-cycles"
 
     # ------------------------------------------------------------------ #
@@ -215,59 +229,79 @@ class SimulationEngine:
         priority order and dispatches from up to ``issue_width`` of them.
         """
         width = self.config.issue_width
+        contexts = self.contexts
+        dispatch_model = self.dispatch_model
+        earliest_issue = dispatch_model.earliest_issue
+        dispatch = dispatch_model.dispatch
+        account = self._account
+        stats = self.stats
+        select = self.scheduler.select
         while self.cycle < max_cycles:
-            heads = []
-            for context in self.contexts:
-                if context.finished:
-                    continue
-                head = context.head(self.cycle)
-                if head is not None:
-                    heads.append((context, head))
             if stop_when is not None and stop_when(self):
                 return "stop-condition"
-            if not heads:
+            cycle = self.cycle
+            remaining: list[tuple[HardwareContext, "Instruction"]] = []
+            for context in contexts:
+                if context.finished:
+                    continue
+                head = context.head(cycle)
+                if head is not None:
+                    remaining.append((context, head))
+            if not remaining:
                 return "completed"
             dispatched = 0
-            blocked_times = []
-            remaining = list(heads)
             while dispatched < width and remaining:
                 ready = [
                     context
                     for context, head in remaining
-                    if self.dispatch_model.earliest_issue(context, head, self.cycle)
-                    <= self.cycle
+                    if earliest_issue(context, head, cycle) <= cycle
                 ]
                 if not ready:
                     break
-                chosen = self.scheduler.select(ready, previous=None, cycle=self.cycle)
-                head = chosen.head(self.cycle)
-                outcome = self.dispatch_model.dispatch(chosen, head, self.cycle)
+                chosen = select(ready, previous=None, cycle=cycle)
+                head = chosen.head(cycle)
+                outcome = dispatch(chosen, head, cycle)
                 chosen.consume(head)
-                self._account(outcome)
+                account(outcome)
                 dispatched += 1
                 remaining = [(c, h) for c, h in remaining if c is not chosen]
+            blocked_until: int | None = None
             for context, head in remaining:
-                earliest = self.dispatch_model.earliest_issue(context, head, self.cycle)
-                if earliest > self.cycle:
+                earliest = earliest_issue(context, head, cycle)
+                if earliest > cycle:
                     context.record_lost_cycle()
-                    blocked_times.append(earliest)
+                    if blocked_until is None or earliest < blocked_until:
+                        blocked_until = earliest
             if dispatched:
-                self.cycle += 1
+                self.cycle = cycle + 1
                 continue
-            self.stats.decode_lost_cycles += 1
-            jump_to = min(blocked_times) if blocked_times else self.cycle + 1
-            jump_to = max(jump_to, self.cycle + 1)
-            jump_to = min(jump_to, max_cycles)
-            self.stats.decode_idle_cycles += max(0, jump_to - self.cycle - 1)
-            self.cycle = jump_to
+            stats.decode_lost_cycles += 1
+            self.cycle = cycle + 1
+            if blocked_until is not None:
+                self._skip_blocked_window(blocked_until, max_cycles)
         return "max-cycles"
 
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
+    def _skip_blocked_window(self, target: int, max_cycles: int) -> None:
+        """Jump the decode clock forward over a window where nothing can issue.
+
+        ``target`` is the earliest cycle at which any context may unblock.
+        The jump is clamped to ``max_cycles`` and the skipped cycles are
+        accounted as decode-idle time.  Shared by all three run loops (it was
+        triplicated before the fast-path rework).
+        """
+        if target > max_cycles:
+            target = max_cycles
+        if target > self.cycle:
+            self.stats.decode_idle_cycles += target - self.cycle
+            self.cycle = target
+
     def _pick_initial(
         self, cycle: int, previous: HardwareContext | None
     ) -> HardwareContext | None:
+        earliest_issue = self.dispatch_model.earliest_issue
         candidates = []
         for context in self.contexts:
             if context.finished:
@@ -279,12 +313,13 @@ class SimulationEngine:
         ready = [
             context
             for context in candidates
-            if self.dispatch_model.earliest_issue(context, context.head(cycle), cycle) <= cycle
+            if earliest_issue(context, context.head(cycle), cycle) <= cycle
         ]
         pool = ready or candidates
         return self.scheduler.select(pool, previous=previous, cycle=cycle)
 
     def _ready_contexts(self, cycle: int) -> list[HardwareContext]:
+        earliest_issue = self.dispatch_model.earliest_issue
         ready = []
         for context in self.contexts:
             if context.finished:
@@ -292,11 +327,12 @@ class SimulationEngine:
             head = context.head(cycle)
             if head is None:
                 continue
-            if self.dispatch_model.earliest_issue(context, head, cycle) <= cycle:
+            if earliest_issue(context, head, cycle) <= cycle:
                 ready.append(context)
         return ready
 
     def _earliest_unblock(self, cycle: int) -> int | None:
+        earliest_issue = self.dispatch_model.earliest_issue
         earliest: int | None = None
         for context in self.contexts:
             if context.finished:
@@ -304,7 +340,7 @@ class SimulationEngine:
             head = context.head(cycle)
             if head is None:
                 continue
-            time = self.dispatch_model.earliest_issue(context, head, cycle)
+            time = earliest_issue(context, head, cycle)
             if earliest is None or time < earliest:
                 earliest = time
         return earliest

@@ -33,6 +33,9 @@ class FunctionalUnit:
         self.intervals = IntervalRecorder(name)
         self.instructions_executed = 0
         self.element_operations = 0
+        # Pool this unit belongs to, if any; reservations bump the pool's
+        # version so the dispatch-layer ready-time cache can invalidate.
+        self._pool: "VectorUnitPool | None" = None
 
     @property
     def free_at(self) -> int:
@@ -55,6 +58,8 @@ class FunctionalUnit:
         self.intervals.record(start, record_until if record_until is not None else end)
         self.instructions_executed += 1
         self.element_operations += elements
+        if self._pool is not None:
+            self._pool.version += 1
 
     def reset(self) -> None:
         """Clear reservations and statistics."""
@@ -62,6 +67,8 @@ class FunctionalUnit:
         self.intervals.reset()
         self.instructions_executed = 0
         self.element_operations = 0
+        if self._pool is not None:
+            self._pool.version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FunctionalUnit({self.name!r}, free_at={self._free_at})"
@@ -86,12 +93,17 @@ class VectorUnitPool:
     def __init__(self, num_load_store_units: int = 1) -> None:
         if num_load_store_units < 1:
             raise SimulationError("the vector unit pool needs at least one LD unit")
+        #: Mutation counter: bumped whenever any owned unit is reserved or
+        #: reset, consumed by the dispatch-layer ready-time cache.
+        self.version = 0
         self.fu1 = FunctionalUnit("FU1")
         self.fu2 = FunctionalUnit("FU2")
         self.load_store_units = [
             FunctionalUnit("LD" if index == 0 else f"LD{index}")
             for index in range(num_load_store_units)
         ]
+        for unit in (self.fu1, self.fu2, *self.load_store_units):
+            unit._pool = self
 
     @property
     def load_store(self) -> FunctionalUnit:
@@ -118,17 +130,27 @@ class VectorUnitPool:
             raise SimulationError(
                 f"instruction {instruction} is not a vector arithmetic operation"
             )
-        if instruction.opcode.fu2_only:
-            return _UnitChoice(self.fu2, max(now, self.fu2.free_at))
-        fu1_ready = max(now, self.fu1.free_at)
-        fu2_ready = max(now, self.fu2.free_at)
+        fu2 = self.fu2
+        if instruction.fu2_only:
+            return _UnitChoice(fu2, max(now, fu2._free_at))
+        fu1 = self.fu1
+        fu1_ready = fu1._free_at
+        if fu1_ready < now:
+            fu1_ready = now
+        fu2_ready = fu2._free_at
+        if fu2_ready < now:
+            fu2_ready = now
         if fu1_ready <= fu2_ready:
-            return _UnitChoice(self.fu1, fu1_ready)
-        return _UnitChoice(self.fu2, fu2_ready)
+            return _UnitChoice(fu1, fu1_ready)
+        return _UnitChoice(fu2, fu2_ready)
 
     def memory_unit(self, now: int) -> _UnitChoice:
         """The memory unit that can accept a new instruction earliest."""
-        best = min(self.load_store_units, key=lambda unit: max(now, unit.free_at))
+        units = self.load_store_units
+        if len(units) == 1:
+            unit = units[0]
+            return _UnitChoice(unit, max(now, unit._free_at))
+        best = min(units, key=lambda unit: max(now, unit.free_at))
         return _UnitChoice(best, max(now, best.free_at))
 
     # ------------------------------------------------------------------ #

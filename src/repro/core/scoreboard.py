@@ -43,14 +43,6 @@ class RegisterState:
     write_busy_until: int = 0
     read_busy_until: int = 0
 
-    def earliest_full_read(self) -> int:
-        """Earliest cycle a non-chaining consumer may depend on the value."""
-        return self.ready_at
-
-    def earliest_write(self) -> int:
-        """Earliest cycle a new producer may start overwriting the register."""
-        return max(self.write_busy_until, self.read_busy_until)
-
 
 class _BankPorts:
     """Read/write port bookkeeping of one vector register bank."""
@@ -81,27 +73,40 @@ class _BankPorts:
 
 
 class Scoreboard:
-    """Register-hazard and bank-port tracking for one hardware context."""
+    """Register-hazard and bank-port tracking for one hardware context.
+
+    The scoreboard carries a monotonically increasing :attr:`version` bumped
+    by every mutation (register read/write records, resets).  The dispatch
+    layer uses it to cache ``earliest_issue`` results per context head: as
+    long as the version is unchanged, every hazard constraint is a constant
+    and the cached ready time stays exact.
+    """
 
     def __init__(self, *, model_bank_ports: bool = True, allow_chaining: bool = True) -> None:
-        self._registers: dict[Register, RegisterState] = {}
+        # Keyed by the dense integer `Register.key` (hashing a small int is
+        # far cheaper than hashing the register's field tuple).
+        self._registers: dict[int, RegisterState] = {}
         self._banks = [_BankPorts() for _ in range(NUM_VECTOR_BANKS)]
         self._model_bank_ports = model_bank_ports
         self._allow_chaining = allow_chaining
+        #: Mutation counter consumed by the dispatch-layer ready-time cache.
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     def state(self, register: Register) -> RegisterState:
         """The (lazily created) hazard state of one register."""
-        state = self._registers.get(register)
+        key = register.key
+        state = self._registers.get(key)
         if state is None:
             state = RegisterState()
-            self._registers[register] = state
+            self._registers[key] = state
         return state
 
     def reset(self) -> None:
         """Clear all hazard state (used when a context starts a new program)."""
         self._registers.clear()
         self._banks = [_BankPorts() for _ in range(NUM_VECTOR_BANKS)]
+        self.version += 1
 
     # ------------------------------------------------------------------ #
     # dispatch-time constraint computation
@@ -116,31 +121,35 @@ class Scoreboard:
         and readers to have finished (no renaming).
         """
         earliest = now
+        registers = self._registers
         for source in instruction.srcs:
-            state = self._registers.get(source)
+            state = registers.get(source.key)
             if state is None:
                 continue
-            if source.cls is RegisterClass.VECTOR and state.chainable:
+            if state.chainable and source.cls is RegisterClass.VECTOR:
                 continue
-            earliest = max(earliest, state.earliest_full_read())
-        if instruction.dest is not None:
-            state = self._registers.get(instruction.dest)
+            ready_at = state.ready_at
+            if ready_at > earliest:
+                earliest = ready_at
+        dest = instruction.dest
+        if dest is not None:
+            state = registers.get(dest.key)
             if state is not None:
-                earliest = max(earliest, state.earliest_write())
+                busy_until = state.write_busy_until
+                if state.read_busy_until > busy_until:
+                    busy_until = state.read_busy_until
+                if busy_until > earliest:
+                    earliest = busy_until
         if self._model_bank_ports:
-            earliest = max(earliest, self._earliest_bank_ports(instruction, now))
-        return earliest
-
-    def _earliest_bank_ports(self, instruction: Instruction, now: int) -> int:
-        earliest = now
-        for source in instruction.vector_sources():
-            bank = source.bank
-            if bank is not None:
-                earliest = max(earliest, self._banks[bank].earliest_read_slot(now))
-        if instruction.dest is not None and instruction.dest.is_vector:
-            bank = instruction.dest.bank
-            if bank is not None:
-                earliest = max(earliest, self._banks[bank].earliest_write_slot(now))
+            banks = self._banks
+            for source in instruction.vector_sources():
+                slot = banks[source.bank].earliest_read_slot(now)
+                if slot > earliest:
+                    earliest = slot
+            if dest is not None and dest.is_vector:
+                slot = banks[dest.bank].earliest_write_slot(now)
+                if slot > earliest:
+                    earliest = slot
         return earliest
 
     # ------------------------------------------------------------------ #
@@ -154,8 +163,9 @@ class Scoreboard:
         (their full value is already available by dispatch time).
         """
         start = candidate_start
+        registers = self._registers
         for source in instruction.vector_sources():
-            state = self._registers.get(source)
+            state = registers.get(source.key)
             if state is None:
                 continue
             if state.chainable and state.ready_at > candidate_start:
@@ -167,9 +177,10 @@ class Scoreboard:
     # ------------------------------------------------------------------ #
     def record_read(self, register: Register, now: int, read_end: int) -> None:
         """Mark a register as being read by an in-flight instruction."""
+        self.version += 1
         state = self.state(register)
         state.read_busy_until = max(state.read_busy_until, read_end)
-        if self._model_bank_ports and register.is_vector and register.bank is not None:
+        if self._model_bank_ports and register.is_vector:
             self._banks[register.bank].add_reader(read_end, now)
 
     def record_write(
@@ -181,10 +192,11 @@ class Scoreboard:
         chainable: bool,
     ) -> None:
         """Mark a register as being produced by an in-flight instruction."""
+        self.version += 1
         state = self.state(register)
         state.first_element_at = first_element_at
         state.ready_at = ready_at
         state.chainable = chainable and self._allow_chaining
         state.write_busy_until = ready_at
-        if self._model_bank_ports and register.is_vector and register.bank is not None:
+        if self._model_bank_ports and register.is_vector:
             self._banks[register.bank].add_writer(ready_at)

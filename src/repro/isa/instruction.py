@@ -5,14 +5,23 @@ fed into the simulator.  It therefore carries not only the opcode and operand
 registers but also the execution-time values of the vector length and stride
 registers (the paper's Dixie tool records these as separate trace streams) and
 the base address of memory operations.
+
+Performance note: the simulator probes instruction classification (vector
+arithmetic vs. memory vs. scalar, element counts, operand splits) millions of
+times per run, so every derived attribute is resolved **once**, at decode
+time, and stored as a plain instance attribute.  The engine's inner loop then
+performs field loads instead of property-call chains through the opcode
+enums.  The columnar decode helpers (:meth:`with_pc`, :meth:`with_address`,
+:meth:`with_vl`) clone instructions without re-running validation, which keeps
+trace replay proportional to the amount of *changed* data.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.errors import IsaError
-from repro.isa.opcodes import ExecutionResource, OpClass, Opcode
+from repro.isa.opcodes import OPCODE_TRAITS, ExecutionResource, OpClass, Opcode
 from repro.isa.registers import MAX_VECTOR_LENGTH, Register, RegisterClass
 
 __all__ = ["Instruction"]
@@ -42,6 +51,13 @@ class Instruction:
     pc:
         Static program counter / unique id of the instruction inside its
         program.  Used only for reporting and tracing.
+
+    Derived classification attributes (``op_class``, ``resource``,
+    ``is_vector``, ``is_vector_arithmetic``, ``is_vector_memory``,
+    ``is_memory``, ``is_load``, ``is_store``, ``is_branch``, ``is_scalar``,
+    ``uses_stride_register``, ``element_count``, ``memory_transactions``,
+    ``vector_operations``, ``latency_class``, ``fu2_only``) are precomputed at
+    construction and read as plain fields.
     """
 
     opcode: Opcode
@@ -53,13 +69,18 @@ class Instruction:
     imm: float | int | None = None
     pc: int = 0
 
+    # The derived classification attributes are deliberately NOT dataclass
+    # fields: they are plain instance attributes written by `_materialize`, so
+    # equality, hashing, repr, `dataclasses.fields` and `replace` behave
+    # exactly as if only the eight declared fields existed.
+
     def __post_init__(self) -> None:
-        info = self.opcode.info
-        if info.has_dest and self.dest is None:
+        traits = OPCODE_TRAITS[self.opcode]
+        if traits.has_dest and self.dest is None:
             raise IsaError(f"opcode {self.opcode.value} requires a destination register")
-        if not info.has_dest and self.dest is not None:
+        if not traits.has_dest and self.dest is not None:
             raise IsaError(f"opcode {self.opcode.value} does not take a destination register")
-        if self.opcode.is_vector and self.op_class is not OpClass.VECTOR_CONTROL:
+        if traits.is_vector and traits.op_class is not OpClass.VECTOR_CONTROL:
             vl = self.vl
             if vl is None:
                 raise IsaError(
@@ -69,95 +90,48 @@ class Instruction:
                 raise IsaError(
                     f"vector length {vl} out of range 1..{MAX_VECTOR_LENGTH}"
                 )
-        if self.opcode.is_memory and self.address is not None and self.address < 0:
+        if traits.is_memory and self.address is not None and self.address < 0:
             raise IsaError("memory operations require a non-negative base address")
+        self._materialize(traits)
+
+    def _materialize(self, traits) -> None:
+        """Resolve every derived attribute once (columnar decode)."""
+        write = object.__setattr__
+        write(self, "op_class", traits.op_class)
+        write(self, "resource", traits.resource)
+        write(self, "latency_class", traits.latency_class)
+        write(self, "is_vector", traits.is_vector)
+        write(self, "is_vector_arithmetic", traits.is_vector_arithmetic)
+        write(self, "is_vector_memory", traits.is_vector_memory)
+        write(self, "is_memory", traits.is_memory)
+        write(self, "is_load", traits.is_load)
+        write(self, "is_store", traits.is_store)
+        write(self, "is_branch", traits.is_branch)
+        write(self, "is_scalar", traits.is_scalar)
+        write(self, "uses_stride_register", traits.uses_stride_register)
+        write(self, "fu2_only", traits.fu2_only)
+        element_count = self.vl if (traits.is_vector and self.vl is not None) else 1
+        write(self, "element_count", element_count)
+        write(self, "memory_transactions", element_count if traits.is_memory else 0)
+        write(
+            self,
+            "vector_operations",
+            self.vl if (traits.is_vector_arithmetic and self.vl is not None) else 0,
+        )
+        write(
+            self,
+            "_vector_srcs",
+            tuple(r for r in self.srcs if r.cls is RegisterClass.VECTOR),
+        )
+        write(
+            self,
+            "_scalar_srcs",
+            tuple(r for r in self.srcs if r.cls is not RegisterClass.VECTOR),
+        )
 
     # ------------------------------------------------------------------ #
-    # classification helpers
+    # operand helpers
     # ------------------------------------------------------------------ #
-    @property
-    def op_class(self) -> OpClass:
-        """The :class:`OpClass` of this instruction."""
-        return self.opcode.op_class
-
-    @property
-    def resource(self) -> ExecutionResource:
-        """The execution resource this instruction occupies."""
-        return self.op_class.resource
-
-    @property
-    def is_vector(self) -> bool:
-        """Whether the instruction is dispatched to the vector part."""
-        return self.opcode.is_vector
-
-    @property
-    def is_vector_arithmetic(self) -> bool:
-        """Whether the instruction executes on FU1 or FU2."""
-        return self.resource is ExecutionResource.VECTOR_ARITHMETIC
-
-    @property
-    def is_vector_memory(self) -> bool:
-        """Whether the instruction executes on the LD unit."""
-        return self.resource is ExecutionResource.VECTOR_MEMORY
-
-    @property
-    def is_memory(self) -> bool:
-        """Whether the instruction uses the memory (address) port at all."""
-        return self.opcode.is_memory
-
-    @property
-    def uses_stride_register(self) -> bool:
-        """Whether the instruction is a *strided* vector memory access.
-
-        Gathers and scatters are indexed (their addresses come from an index
-        vector) and therefore do not read the vector stride register.
-        """
-        return self.op_class in (OpClass.VECTOR_LOAD, OpClass.VECTOR_STORE)
-
-    @property
-    def is_load(self) -> bool:
-        """Whether the instruction reads main memory."""
-        return self.op_class.is_load
-
-    @property
-    def is_store(self) -> bool:
-        """Whether the instruction writes main memory."""
-        return self.op_class.is_store
-
-    @property
-    def is_branch(self) -> bool:
-        """Whether the instruction is a control-flow instruction."""
-        return self.op_class is OpClass.BRANCH
-
-    @property
-    def is_scalar(self) -> bool:
-        """Whether the instruction is handled entirely by the scalar unit."""
-        return self.resource is ExecutionResource.SCALAR_UNIT
-
-    # ------------------------------------------------------------------ #
-    # operand / cost helpers
-    # ------------------------------------------------------------------ #
-    @property
-    def element_count(self) -> int:
-        """Number of element operations performed (``vl`` for vector ops, else 1)."""
-        if self.is_vector and self.vl is not None:
-            return self.vl
-        return 1
-
-    @property
-    def memory_transactions(self) -> int:
-        """Number of addresses sent over the single address bus."""
-        if not self.is_memory:
-            return 0
-        return self.element_count
-
-    @property
-    def vector_operations(self) -> int:
-        """Number of vector *arithmetic* operations (the paper's VOPC numerator)."""
-        if self.is_vector_arithmetic and self.vl is not None:
-            return self.vl
-        return 0
-
     def reads(self) -> tuple[Register, ...]:
         """Registers read by this instruction."""
         return self.srcs
@@ -170,33 +144,87 @@ class Instruction:
 
     def vector_sources(self) -> tuple[Register, ...]:
         """Vector registers among the sources."""
-        return tuple(r for r in self.srcs if r.cls is RegisterClass.VECTOR)
+        return self._vector_srcs
 
     def scalar_sources(self) -> tuple[Register, ...]:
         """Non-vector registers among the sources."""
-        return tuple(r for r in self.srcs if r.cls is not RegisterClass.VECTOR)
+        return self._scalar_srcs
 
     def vector_registers_touched(self) -> tuple[Register, ...]:
         """All vector registers read or written by this instruction."""
-        regs = [r for r in self.srcs if r.cls is RegisterClass.VECTOR]
         if self.dest is not None and self.dest.cls is RegisterClass.VECTOR:
-            regs.append(self.dest)
-        return tuple(regs)
+            return self._vector_srcs + (self.dest,)
+        return self._vector_srcs
 
     # ------------------------------------------------------------------ #
-    # convenience
+    # convenience (fast clones: skip __init__ validation, copy the columnar
+    # attributes, and only recompute what the changed field influences)
     # ------------------------------------------------------------------ #
+    def _clone(self) -> "Instruction":
+        clone = object.__new__(Instruction)
+        clone.__dict__.update(self.__dict__)
+        return clone
+
     def with_vl(self, vl: int) -> "Instruction":
         """Return a copy of this instruction with a different vector length."""
-        return replace(self, vl=vl)
+        if self.is_vector and not 1 <= vl <= MAX_VECTOR_LENGTH:
+            raise IsaError(f"vector length {vl} out of range 1..{MAX_VECTOR_LENGTH}")
+        clone = self._clone()
+        d = clone.__dict__
+        d["vl"] = vl
+        element_count = vl if self.is_vector else 1
+        d["element_count"] = element_count
+        d["memory_transactions"] = element_count if self.is_memory else 0
+        d["vector_operations"] = vl if self.is_vector_arithmetic else 0
+        return clone
 
     def with_pc(self, pc: int) -> "Instruction":
         """Return a copy of this instruction with a different ``pc``."""
-        return replace(self, pc=pc)
+        clone = self._clone()
+        clone.__dict__["pc"] = pc
+        return clone
 
     def with_address(self, address: int) -> "Instruction":
         """Return a copy of this instruction with a different base address."""
-        return replace(self, address=address)
+        if self.is_memory and address is not None and address < 0:
+            raise IsaError("memory operations require a non-negative base address")
+        clone = self._clone()
+        clone.__dict__["address"] = address
+        return clone
+
+    def replay(
+        self,
+        pc: int,
+        vl: int | None = None,
+        stride: int | None = None,
+        address: int | None = None,
+    ) -> "Instruction":
+        """Fast trace-replay clone: re-attach dynamic values to a template.
+
+        Used by :class:`repro.trace.stream.TraceStream`: the caller guarantees
+        that ``vl``/``stride``/``address`` are only passed for instructions
+        that take them (the columnar decode plan encodes which), so this skips
+        field-by-field validation and only range-checks the vector length.
+        """
+        clone = self._clone()
+        d = clone.__dict__
+        d["pc"] = pc
+        if vl is not None:
+            if not 1 <= vl <= MAX_VECTOR_LENGTH:
+                raise IsaError(f"vector length {vl} out of range 1..{MAX_VECTOR_LENGTH}")
+            d["vl"] = vl
+            d["element_count"] = vl
+            if self.is_memory:
+                d["memory_transactions"] = vl
+            if self.is_vector_arithmetic:
+                d["vector_operations"] = vl
+        if stride is not None:
+            d["stride"] = stride
+        if address is not None:
+            if address < 0:
+                raise IsaError("memory operations require a non-negative base address")
+            d["address"] = address
+        return clone
 
     def __str__(self) -> str:
         operands = []

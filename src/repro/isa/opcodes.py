@@ -24,7 +24,9 @@ __all__ = [
     "OpClass",
     "Opcode",
     "OPCODE_INFO",
+    "OPCODE_TRAITS",
     "OpcodeInfo",
+    "OpcodeTraits",
     "VECTOR_ARITHMETIC_CLASSES",
 ]
 
@@ -91,24 +93,7 @@ class OpClass(enum.Enum):
     @property
     def resource(self) -> ExecutionResource:
         """The execution resource for this class."""
-        if self in (
-            OpClass.VECTOR_LOAD,
-            OpClass.VECTOR_STORE,
-            OpClass.VECTOR_GATHER,
-            OpClass.VECTOR_SCATTER,
-        ):
-            return ExecutionResource.VECTOR_MEMORY
-        if self in (
-            OpClass.VECTOR_ALU,
-            OpClass.VECTOR_MUL,
-            OpClass.VECTOR_DIV,
-            OpClass.VECTOR_SQRT,
-            OpClass.VECTOR_REDUCE,
-        ):
-            return ExecutionResource.VECTOR_ARITHMETIC
-        if self in (OpClass.VECTOR_CONTROL, OpClass.NOP):
-            return ExecutionResource.CONTROL
-        return ExecutionResource.SCALAR_UNIT
+        return _CLASS_RESOURCE[self]
 
 
 _MEMORY_CLASSES = frozenset(
@@ -121,6 +106,32 @@ _MEMORY_CLASSES = frozenset(
         OpClass.VECTOR_SCATTER,
     }
 )
+
+#: Execution resource per opcode class, resolved once at import time so the
+#: per-instruction decode path does plain dict loads instead of membership
+#: chains.
+_CLASS_RESOURCE: dict[OpClass, ExecutionResource] = {}
+for _cls in OpClass:
+    if _cls in (
+        OpClass.VECTOR_LOAD,
+        OpClass.VECTOR_STORE,
+        OpClass.VECTOR_GATHER,
+        OpClass.VECTOR_SCATTER,
+    ):
+        _CLASS_RESOURCE[_cls] = ExecutionResource.VECTOR_MEMORY
+    elif _cls in (
+        OpClass.VECTOR_ALU,
+        OpClass.VECTOR_MUL,
+        OpClass.VECTOR_DIV,
+        OpClass.VECTOR_SQRT,
+        OpClass.VECTOR_REDUCE,
+    ):
+        _CLASS_RESOURCE[_cls] = ExecutionResource.VECTOR_ARITHMETIC
+    elif _cls in (OpClass.VECTOR_CONTROL, OpClass.NOP):
+        _CLASS_RESOURCE[_cls] = ExecutionResource.CONTROL
+    else:
+        _CLASS_RESOURCE[_cls] = ExecutionResource.SCALAR_UNIT
+del _cls
 
 #: Vector classes executed on the arithmetic functional units (FU1 / FU2).
 VECTOR_ARITHMETIC_CLASSES = frozenset(
@@ -316,3 +327,52 @@ OPCODE_INFO: dict[Opcode, OpcodeInfo] = dict(
         _info(Opcode.NOP, OpClass.NOP, "move", 0, has_dest=False, description="no operation"),
     ]
 )
+
+
+@dataclass(frozen=True)
+class OpcodeTraits:
+    """Fully resolved static classification of one opcode.
+
+    Everything the simulator hot path ever asks about an opcode, flattened
+    into plain fields so that instruction decode performs a single dict load
+    followed by attribute copies (no enum property chains).
+    """
+
+    op_class: OpClass
+    resource: ExecutionResource
+    latency_class: str
+    has_dest: bool
+    is_vector: bool
+    is_memory: bool
+    is_load: bool
+    is_store: bool
+    is_branch: bool
+    is_vector_arithmetic: bool
+    is_vector_memory: bool
+    is_scalar: bool
+    uses_stride_register: bool
+    fu2_only: bool
+
+
+#: One fully resolved :class:`OpcodeTraits` per opcode, built at import time.
+OPCODE_TRAITS: dict[Opcode, OpcodeTraits] = {}
+for _opcode, _i in OPCODE_INFO.items():
+    _c = _i.op_class
+    _r = _CLASS_RESOURCE[_c]
+    OPCODE_TRAITS[_opcode] = OpcodeTraits(
+        op_class=_c,
+        resource=_r,
+        latency_class=_i.latency_class,
+        has_dest=_i.has_dest,
+        is_vector=_c.is_vector,
+        is_memory=_c.is_memory,
+        is_load=_c.is_load,
+        is_store=_c.is_store,
+        is_branch=_c is OpClass.BRANCH,
+        is_vector_arithmetic=_r is ExecutionResource.VECTOR_ARITHMETIC,
+        is_vector_memory=_r is ExecutionResource.VECTOR_MEMORY,
+        is_scalar=_r is ExecutionResource.SCALAR_UNIT,
+        uses_stride_register=_c in (OpClass.VECTOR_LOAD, OpClass.VECTOR_STORE),
+        fu2_only=_c in FU2_ONLY_CLASSES,
+    )
+del _opcode, _i, _c, _r

@@ -72,12 +72,29 @@ class RegisterClass(enum.Enum):
         return 1
 
 
+#: Base offset of each register class inside the dense register-id space.
+_CLASS_KEY_BASE = {
+    RegisterClass.ADDRESS: 0,
+    RegisterClass.SCALAR: NUM_ADDRESS_REGISTERS,
+    RegisterClass.VECTOR: NUM_ADDRESS_REGISTERS + NUM_SCALAR_REGISTERS,
+    RegisterClass.VECTOR_LENGTH: NUM_ADDRESS_REGISTERS
+    + NUM_SCALAR_REGISTERS
+    + NUM_VECTOR_REGISTERS,
+    RegisterClass.VECTOR_STRIDE: NUM_ADDRESS_REGISTERS
+    + NUM_SCALAR_REGISTERS
+    + NUM_VECTOR_REGISTERS
+    + 1,
+}
+
+
 @dataclass(frozen=True, order=True)
 class Register:
     """One architectural register, identified by class and index.
 
     Instances are immutable and hashable so they can be used as dictionary
-    keys by the scoreboard and the register files.
+    keys by the scoreboard and the register files.  The derived attributes
+    (``name``, ``is_vector``, ``bank``) are resolved once at construction —
+    the scoreboard reads them on every hazard check.
     """
 
     cls: RegisterClass
@@ -90,25 +107,18 @@ class Register:
                 f"register index {self.index} out of range for class "
                 f"{self.cls.name} (file size {size})"
             )
-
-    @property
-    def name(self) -> str:
-        """Canonical assembly name, e.g. ``v3`` or ``vl``."""
+        write = object.__setattr__
         if self.cls.is_control_class:
-            return self.cls.value
-        return f"{self.cls.value}{self.index}"
-
-    @property
-    def is_vector(self) -> bool:
-        """Whether this register is one of the eight vector registers."""
-        return self.cls is RegisterClass.VECTOR
-
-    @property
-    def bank(self) -> int | None:
-        """Vector register bank this register belongs to (``None`` if scalar)."""
-        if not self.is_vector:
-            return None
-        return self.index // REGISTERS_PER_BANK
+            write(self, "name", self.cls.value)
+        else:
+            write(self, "name", f"{self.cls.value}{self.index}")
+        is_vector = self.cls is RegisterClass.VECTOR
+        write(self, "is_vector", is_vector)
+        write(self, "bank", self.index // REGISTERS_PER_BANK if is_vector else None)
+        # Dense integer id, unique across the register files of one context.
+        # The scoreboard keys its hazard table by this id: hashing a small int
+        # is several times cheaper than hashing the (enum, int) field tuple.
+        write(self, "key", _CLASS_KEY_BASE[self.cls] + self.index)
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.name

@@ -71,37 +71,58 @@ class BankConflictModel:
         self.bank_busy_cycles = bank_busy_cycles
         self.gather_conflict_factor = gather_conflict_factor
         self.stats = BankedMemoryStats()
+        # num_banks and bank_busy_cycles are fixed for the lifetime of a run
+        # while strides repeat heavily across a vector stream, so both the
+        # gcd-derived bank count and the resulting slowdown are memoized per
+        # stride.  The gather slowdown is stride-independent; resolve it once.
+        self._banks_by_stride: dict[int, int] = {}
+        self._slowdown_by_stride: dict[int, float] = {}
+        self._gather_slowdown = max(1.0, gather_conflict_factor * bank_busy_cycles)
 
     # ------------------------------------------------------------------ #
     def effective_banks(self, stride: int) -> int:
         """Distinct banks touched by a stream of the given element stride."""
-        stride = abs(stride) or 1
-        return self.num_banks // math.gcd(stride, self.num_banks)
+        banks = self._banks_by_stride.get(stride)
+        if banks is None:
+            effective_stride = abs(stride) or 1
+            banks = self.num_banks // math.gcd(effective_stride, self.num_banks)
+            self._banks_by_stride[stride] = banks
+        return banks
 
     def slowdown(self, request: MemoryRequest) -> float:
         """Element-delivery slowdown factor (1.0 = full one-per-cycle rate)."""
-        if not request.kind.is_vector:
+        kind = request.kind
+        if not kind.is_vector:
             return 1.0
-        if request.kind.is_indexed:
+        if kind.is_indexed:
             # Gathers hit essentially random banks; a configurable fraction of
             # the accesses collides within a bank-busy window.
-            collisions = self.gather_conflict_factor * self.bank_busy_cycles
-            return max(1.0, collisions)
-        banks = self.effective_banks(request.stride)
-        if banks >= self.bank_busy_cycles:
-            return 1.0
-        return self.bank_busy_cycles / banks
+            return self._gather_slowdown
+        stride = request.stride
+        slowdown = self._slowdown_by_stride.get(stride)
+        if slowdown is None:
+            banks = self.effective_banks(stride)
+            if banks >= self.bank_busy_cycles:
+                slowdown = 1.0
+            else:
+                slowdown = self.bank_busy_cycles / banks
+            self._slowdown_by_stride[stride] = slowdown
+        return slowdown
 
     def delivery_cycles(self, request: MemoryRequest) -> int:
         """Cycles needed to stream all elements of the request from the banks."""
+        stats = self.stats
+        stats.accesses += 1
         slowdown = self.slowdown(request)
+        if slowdown == 1.0:
+            return request.elements
         cycles = math.ceil(request.elements * slowdown)
-        self.stats.accesses += 1
         if cycles > request.elements:
-            self.stats.conflicted_accesses += 1
-            self.stats.extra_cycles += cycles - request.elements
+            stats.conflicted_accesses += 1
+            stats.extra_cycles += cycles - request.elements
         return cycles
 
     def reset(self) -> None:
-        """Clear accumulated statistics."""
+        """Clear accumulated statistics (the per-stride memos stay valid:
+        they depend only on the fixed bank geometry)."""
         self.stats = BankedMemoryStats()

@@ -132,7 +132,11 @@ class MemorySystem:
         self._count(request)
         delivery = self._delivery_cycles(request)
         address_cycles = request.address_cycles
-        bus = min(self.address_buses, key=lambda candidate: max(earliest, candidate.free_at))
+        buses = self.address_buses
+        if len(buses) == 1:
+            bus = buses[0]
+        else:
+            bus = min(buses, key=lambda candidate: max(earliest, candidate.free_at))
         start = bus.reserve(earliest, address_cycles)
 
         if request.kind.is_load:

@@ -35,17 +35,23 @@ class Dixie:
         basic_blocks = tuple(program.basic_blocks())
         trace = TraceSet(program_name=program.name, basic_blocks=basic_blocks)
         trace.block_trace.extend(program.iter_block_ids())
+        # Columnar capture: the three value streams are appended through
+        # bound methods, and the per-instruction questions are single
+        # attribute loads resolved at decode time.
+        append_vl = trace.vl_trace.append
+        append_stride = trace.stride_trace.append
+        append_memref = trace.memref_trace.append
         for instruction in program.instructions():
             if instruction.is_vector_arithmetic or instruction.is_vector_memory:
                 if instruction.vl is None:
                     raise TraceError(
                         f"vector instruction without vector length: {instruction}"
                     )
-                trace.vl_trace.append(instruction.vl)
+                append_vl(instruction.vl)
             if instruction.uses_stride_register:
-                trace.stride_trace.append(instruction.stride or 1)
+                append_stride(instruction.stride or 1)
             if instruction.is_memory:
-                trace.memref_trace.append(instruction.address or 0)
+                append_memref(instruction.address or 0)
         if self._validate:
             trace.validate()
         return trace

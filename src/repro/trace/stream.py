@@ -6,12 +6,17 @@ fed to the simulators, which perform a cycle-by-cycle execution.  The
 vector-length, stride and address values to each static instruction, yielding
 the dynamic :class:`~repro.isa.instruction.Instruction` sequence the
 simulators consume.
+
+Replay is columnar: each basic block is compiled once into a *decode plan* —
+per static instruction, which of the three dynamic streams (VL, stride,
+memref) it consumes — so the replay loop is three boolean loads plus one
+validation-free clone per dynamic instruction, instead of property probes and
+a full ``dataclasses.replace`` re-construction.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import replace
 
 from repro.errors import TraceError
 from repro.isa.instruction import Instruction
@@ -20,41 +25,56 @@ from repro.trace.records import TraceSet
 __all__ = ["TraceStream", "instructions_from_trace"]
 
 
+def _compile_block(block) -> tuple[tuple[Instruction, bool, bool, bool], ...]:
+    """The block's columnar decode plan: (template, needs_vl, needs_stride, needs_mem)."""
+    return tuple(
+        (
+            template,
+            template.is_vector_arithmetic or template.is_vector_memory,
+            template.uses_stride_register,
+            template.is_memory,
+        )
+        for template in block.instructions
+    )
+
+
 class TraceStream:
     """Iterator over the dynamic instructions described by a :class:`TraceSet`."""
 
     def __init__(self, trace: TraceSet) -> None:
         self._trace = trace
         self._blocks = {block.block_id: block for block in trace.basic_blocks}
+        self._plans = {
+            block.block_id: _compile_block(block) for block in trace.basic_blocks
+        }
 
     def __iter__(self) -> Iterator[Instruction]:
         vl_iter = iter(self._trace.vl_trace)
         stride_iter = iter(self._trace.stride_trace)
         memref_iter = iter(self._trace.memref_trace)
+        next_vl = vl_iter.__next__
+        next_stride = stride_iter.__next__
+        next_memref = memref_iter.__next__
+        plans = self._plans
         pc = 0
         for block_id in self._trace.block_trace:
-            block = self._blocks.get(block_id)
-            if block is None:
+            plan = plans.get(block_id)
+            if plan is None:
                 raise TraceError(f"trace references unknown basic block id {block_id}")
-            for template in block.instructions:
-                instruction = template
-                changes: dict[str, object] = {"pc": pc}
-                if instruction.is_vector_arithmetic or instruction.is_vector_memory:
-                    try:
-                        changes["vl"] = next(vl_iter)
-                    except StopIteration as exc:
-                        raise TraceError("vector-length trace exhausted early") from exc
-                if instruction.uses_stride_register:
-                    try:
-                        changes["stride"] = next(stride_iter)
-                    except StopIteration as exc:
-                        raise TraceError("stride trace exhausted early") from exc
-                if instruction.is_memory:
-                    try:
-                        changes["address"] = next(memref_iter)
-                    except StopIteration as exc:
-                        raise TraceError("memory-reference trace exhausted early") from exc
-                yield replace(instruction, **changes)
+            for template, needs_vl, needs_stride, needs_mem in plan:
+                try:
+                    vl = next_vl() if needs_vl else None
+                except StopIteration as exc:
+                    raise TraceError("vector-length trace exhausted early") from exc
+                try:
+                    stride = next_stride() if needs_stride else None
+                except StopIteration as exc:
+                    raise TraceError("stride trace exhausted early") from exc
+                try:
+                    address = next_memref() if needs_mem else None
+                except StopIteration as exc:
+                    raise TraceError("memory-reference trace exhausted early") from exc
+                yield template.replay(pc, vl=vl, stride=stride, address=address)
                 pc += 1
 
     def __len__(self) -> int:

@@ -103,6 +103,13 @@ class LoopNest:
         raise NotImplementedError
 
     # -- shared helpers --------------------------------------------------- #
+    @staticmethod
+    def _compile_emit_plan(body: Sequence[Instruction]) -> tuple[tuple[Instruction, bool], ...]:
+        """Emission plan of one body variant: (template, needs address rebasing)."""
+        return tuple(
+            (ins, ins.is_memory and ins.address is not None) for ins in body
+        )
+
     def assign_block_ids(self, base: int) -> int:
         """Assign basic-block ids starting at ``base``; return the next free id."""
         self._block_id_base = base
@@ -250,6 +257,7 @@ class VectorLoopNest(LoopNest):
             for _ in range(kernel.arrays)
         ]
         self._variants_cache: list[list[Instruction]] | None = None
+        self._plans_cache: list[tuple[tuple[Instruction, bool], ...]] | None = None
 
     # ------------------------------------------------------------------ #
     def _vector_register_sets(self) -> list[list[Register]]:
@@ -311,16 +319,25 @@ class VectorLoopNest(LoopNest):
         self._variants_cache = variants
         return variants
 
+    def _emit_plans(self) -> list[tuple[tuple[Instruction, bool], ...]]:
+        """Per-variant emission plans, compiled once."""
+        if self._plans_cache is None:
+            self._plans_cache = [
+                self._compile_emit_plan(body) for body in self.body_variants()
+            ]
+        return self._plans_cache
+
     def emit(self, first_iteration: int = 0, count: int | None = None) -> Iterator[Instruction]:
-        variants = self.body_variants()
+        plans = self._emit_plans()
+        num_variants = len(plans)
         iterations = self.iterations if count is None else min(count, self.iterations)
         bytes_per_iteration = self.vl * max(1, self.stride) * ELEMENT_BYTES
         for local_index in range(iterations):
             iteration = first_iteration + local_index
-            body = variants[iteration % len(variants)]
+            plan = plans[iteration % num_variants]
             offset = iteration * bytes_per_iteration
-            for instruction in body:
-                if instruction.is_memory and instruction.address is not None:
+            for instruction, rebase in plan:
+                if rebase:
                     yield instruction.with_address(instruction.address + offset)
                 else:
                     yield instruction
@@ -346,6 +363,7 @@ class ScalarLoopNest(LoopNest):
         self.address_space = address_space or AddressSpace(base=0x4000_0000)
         self._base = self.address_space.allocate_array(max(1, iterations))
         self._variants_cache: list[list[Instruction]] | None = None
+        self._plan_cache: tuple[tuple[Instruction, bool], ...] | None = None
 
     def body_variants(self) -> list[list[Instruction]]:
         if self._variants_cache is not None:
@@ -364,13 +382,15 @@ class ScalarLoopNest(LoopNest):
         return self._variants_cache
 
     def emit(self, first_iteration: int = 0, count: int | None = None) -> Iterator[Instruction]:
-        body = self.body_variants()[0]
+        if self._plan_cache is None:
+            self._plan_cache = self._compile_emit_plan(self.body_variants()[0])
+        plan = self._plan_cache
         iterations = self.iterations if count is None else min(count, self.iterations)
         for local_index in range(iterations):
             iteration = first_iteration + local_index
             offset = iteration * ELEMENT_BYTES
-            for instruction in body:
-                if instruction.is_memory and instruction.address is not None:
+            for instruction, rebase in plan:
+                if rebase:
                     yield instruction.with_address(instruction.address + offset)
                 else:
                     yield instruction
@@ -402,12 +422,14 @@ class Program:
         self.outer_passes = outer_passes
         self._loops: list[LoopNest] = []
         self._sections: list[_Section] | None = None
+        self._expanded: tuple[Instruction, ...] | None = None
 
     # ------------------------------------------------------------------ #
     def add_loop(self, loop: LoopNest) -> "Program":
         """Append a loop nest to the program; returns ``self`` for chaining."""
         self._loops.append(loop)
         self._sections = None
+        self._expanded = None
         return self
 
     @property
@@ -448,12 +470,32 @@ class Program:
         return blocks
 
     def instructions(self) -> Iterator[Instruction]:
-        """Expand the dynamic instruction stream of the whole program."""
-        pc = 0
-        for section in self._schedule():
-            for instruction in section.loop.emit(section.first_iteration, section.iterations):
-                yield instruction.with_pc(pc)
-                pc += 1
+        """Expand the dynamic instruction stream of the whole program.
+
+        The expansion is materialized once and memoized: instructions are
+        immutable, so every later traversal (job restarts on companion
+        contexts, repeated runs of the same program, tracing) replays the
+        cached tuple instead of re-emitting each loop nest.
+        """
+        if self._expanded is None:
+            expanded: list[Instruction] = []
+            append = expanded.append
+            pc = 0
+            for section in self._schedule():
+                for instruction in section.loop.emit(
+                    section.first_iteration, section.iterations
+                ):
+                    append(instruction.with_pc(pc))
+                    pc += 1
+            self._expanded = tuple(expanded)
+        return iter(self._expanded)
+
+    def __getstate__(self) -> dict:
+        # The memoized expansion can be large and is cheap to rebuild; drop
+        # it when a program is pickled into batch worker processes.
+        state = self.__dict__.copy()
+        state["_expanded"] = None
+        return state
 
     def iter_block_ids(self) -> Iterator[int]:
         """Yield the basic-block id of every executed iteration, in order."""

@@ -1,0 +1,331 @@
+"""Cycle-identical equivalence of the fast-path engine against the seed oracle.
+
+The fast-path rework (columnar instruction decode, incremental ready-time
+caching, specialized run loops, per-stride bank memoization) must not change a
+single statistic of any simulation.  This suite runs the optimized
+:class:`repro.core.engine.SimulationEngine` next to the frozen naive
+implementation in :mod:`tests.seed_engine` and asserts byte-identical results:
+total cycles, every counter, per-thread statistics and job records, vector
+functional-unit busy intervals, and memory-port occupancy — across all four
+machine models (reference, multithreaded, dual-scalar, Cray-style
+multi-issue), every scheduling policy, bank-conflict modeling on and off, and
+fractional runs with instruction limits.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MachineConfig
+from repro.core.engine import SimulationEngine
+from repro.core.results import SimulationResult
+from repro.core.suppliers import (
+    Job,
+    JobQueueSupplier,
+    JobSupplier,
+    RepeatingSupplier,
+    SingleJobSupplier,
+)
+from repro.workloads.generator import LoopSpec, WorkloadSpec, build_workload
+from repro.workloads.kernels import kernel_names
+
+from tests.seed_engine import SeedEngine
+
+# --------------------------------------------------------------------------- #
+# workload generation
+# --------------------------------------------------------------------------- #
+workload_strategy = st.builds(
+    WorkloadSpec,
+    name=st.just("equiv"),
+    vector_instructions=st.integers(min_value=20, max_value=120),
+    scalar_instructions=st.integers(min_value=15, max_value=120),
+    loops=st.tuples(
+        st.builds(
+            LoopSpec,
+            kernel=st.sampled_from(sorted(kernel_names())),
+            vl=st.integers(min_value=2, max_value=128),
+            weight=st.just(1.0),
+            stride=st.sampled_from([1, 2, 7, 8, 64]),
+        )
+    ),
+    scalar_loop_fraction=st.floats(min_value=0.0, max_value=0.8),
+    outer_passes=st.integers(min_value=1, max_value=3),
+)
+
+
+def _make_jobs(spec_names: list[str], seed_vl: int) -> list[Job]:
+    jobs = []
+    for index, kernel in enumerate(spec_names):
+        spec = WorkloadSpec(
+            name=f"{kernel}-{index}",
+            vector_instructions=40 + 25 * index,
+            scalar_instructions=30 + 10 * index,
+            loops=(LoopSpec(kernel=kernel, vl=seed_vl, weight=1.0, stride=1 + index),),
+            outer_passes=1 + index % 2,
+        )
+        jobs.append(Job.from_program(build_workload(spec)))
+    return jobs
+
+
+# --------------------------------------------------------------------------- #
+# deep comparison
+# --------------------------------------------------------------------------- #
+def assert_cycle_identical(fast: SimulationResult, seed: SimulationResult) -> None:
+    """Assert that two runs produced byte-identical statistics."""
+    assert fast.stop_reason == seed.stop_reason
+    fast_stats, seed_stats = fast.stats, seed.stats
+    for counter in (
+        "cycles",
+        "instructions",
+        "scalar_instructions",
+        "vector_instructions",
+        "vector_operations",
+        "vector_arithmetic_operations",
+        "memory_transactions",
+        "memory_port_busy_cycles",
+        "memory_ports",
+        "decode_busy_cycles",
+        "decode_lost_cycles",
+        "decode_idle_cycles",
+    ):
+        assert getattr(fast_stats, counter) == getattr(seed_stats, counter), counter
+    # vector functional-unit busy intervals (figure 4 inputs)
+    for name in ("fu1_intervals", "fu2_intervals", "ld_intervals"):
+        fast_rec = getattr(fast_stats, name)
+        seed_rec = getattr(seed_stats, name)
+        assert sorted(fast_rec.intervals) == sorted(seed_rec.intervals), name
+    # per-thread statistics and job records (figure 9 inputs)
+    assert len(fast_stats.threads) == len(seed_stats.threads)
+    for fast_thread, seed_thread in zip(fast_stats.threads, seed_stats.threads):
+        for counter in (
+            "thread_id",
+            "instructions",
+            "scalar_instructions",
+            "vector_instructions",
+            "vector_operations",
+            "memory_transactions",
+            "completed_programs",
+            "lost_decode_cycles",
+        ):
+            assert getattr(fast_thread, counter) == getattr(seed_thread, counter), counter
+        assert len(fast_thread.jobs) == len(seed_thread.jobs)
+        for fast_job, seed_job in zip(fast_thread.jobs, seed_thread.jobs):
+            assert fast_job.program == seed_job.program
+            assert fast_job.thread_id == seed_job.thread_id
+            assert fast_job.start_cycle == seed_job.start_cycle
+            assert fast_job.end_cycle == seed_job.end_cycle
+            assert fast_job.instructions == seed_job.instructions
+            assert fast_job.completed == seed_job.completed
+    # derived metrics follow from the counters, but check the paper's two
+    # headline ones anyway
+    assert fast.memory_port_occupancy == seed.memory_port_occupancy
+    assert fast.vopc == seed.vopc
+
+
+def run_both(
+    config: MachineConfig,
+    make_suppliers,
+    *,
+    instruction_limits=None,
+    stop_when_completed_on_context0: bool = False,
+) -> tuple[SimulationResult, SimulationResult]:
+    """Run the optimized and the seed engine on identical fresh suppliers."""
+    fast_engine = SimulationEngine(
+        config, make_suppliers(), instruction_limits=instruction_limits
+    )
+    seed_engine = SeedEngine(
+        config, make_suppliers(), instruction_limits=instruction_limits
+    )
+    if stop_when_completed_on_context0:
+        fast_result = fast_engine.run(
+            stop_when=lambda engine: engine.contexts[0].completed_programs >= 1
+        )
+        seed_result = seed_engine.run(
+            stop_when=lambda engine: engine.contexts[0].completed_programs >= 1
+        )
+    else:
+        fast_result = fast_engine.run()
+        seed_result = seed_engine.run()
+    return fast_result, seed_result
+
+
+# --------------------------------------------------------------------------- #
+# model 1: the reference architecture
+# --------------------------------------------------------------------------- #
+class TestReferenceEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(spec=workload_strategy, latency=st.sampled_from([1, 25, 50, 100]))
+    def test_single_context_runs_are_cycle_identical(self, spec, latency):
+        job = Job.from_program(build_workload(spec))
+        config = MachineConfig.reference(latency)
+        fast, seed = run_both(config, lambda: [SingleJobSupplier(job)])
+        assert_cycle_identical(fast, seed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(spec=workload_strategy, limit=st.integers(min_value=5, max_value=150))
+    def test_fractional_runs_with_instruction_limits(self, spec, limit):
+        job = Job.from_program(build_workload(spec))
+        config = MachineConfig.reference(50)
+        fast, seed = run_both(
+            config, lambda: [SingleJobSupplier(job)], instruction_limits=[limit]
+        )
+        assert_cycle_identical(fast, seed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        spec=workload_strategy,
+        num_banks=st.sampled_from([2, 16, 64]),
+        busy=st.sampled_from([2, 4, 10]),
+    )
+    def test_bank_conflict_model_is_cycle_identical(self, spec, num_banks, busy):
+        job = Job.from_program(build_workload(spec))
+        config = MachineConfig(
+            name="banked",
+            num_contexts=1,
+            model_bank_conflicts=True,
+            num_memory_banks=num_banks,
+            bank_busy_cycles=busy,
+        )
+        fast, seed = run_both(config, lambda: [SingleJobSupplier(job)])
+        assert_cycle_identical(fast, seed)
+
+
+# --------------------------------------------------------------------------- #
+# model 2: the multithreaded architecture
+# --------------------------------------------------------------------------- #
+class TestMultithreadedEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_contexts=st.sampled_from([2, 3, 4]),
+        scheduler=st.sampled_from(["unfair", "round_robin", "least_service"]),
+        seed_vl=st.sampled_from([4, 32, 128]),
+    )
+    def test_groupings_runs_are_cycle_identical(self, num_contexts, scheduler, seed_vl):
+        kernels = (sorted(kernel_names()) * 2)[:num_contexts]
+        jobs = _make_jobs(kernels, seed_vl)
+        config = MachineConfig.multithreaded(num_contexts, 50, scheduler=scheduler)
+
+        def make_suppliers() -> list[JobSupplier]:
+            suppliers: list[JobSupplier] = [SingleJobSupplier(jobs[0])]
+            suppliers.extend(RepeatingSupplier(job) for job in jobs[1:])
+            return suppliers
+
+        fast, seed = run_both(
+            config, make_suppliers, stop_when_completed_on_context0=True
+        )
+        assert_cycle_identical(fast, seed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        num_contexts=st.sampled_from([2, 4]),
+        latency=st.sampled_from([1, 50, 100]),
+        seed_vl=st.sampled_from([8, 64]),
+    )
+    def test_job_queue_runs_are_cycle_identical(self, num_contexts, latency, seed_vl):
+        jobs = _make_jobs(sorted(kernel_names())[:5], seed_vl)
+        config = MachineConfig.multithreaded(num_contexts, latency)
+
+        def make_suppliers() -> list[JobSupplier]:
+            queue = JobQueueSupplier(jobs)
+            return [queue for _ in range(num_contexts)]
+
+        fast, seed = run_both(config, make_suppliers)
+        assert_cycle_identical(fast, seed)
+
+    @settings(max_examples=6, deadline=None)
+    @given(spec=workload_strategy, crossbar=st.sampled_from([1, 3, 50]))
+    def test_crossbar_sweep_is_cycle_identical(self, spec, crossbar):
+        job = Job.from_program(build_workload(spec))
+        config = MachineConfig.multithreaded(2, 50, crossbar_latency=crossbar)
+
+        def make_suppliers() -> list[JobSupplier]:
+            return [SingleJobSupplier(job), JobQueueSupplier([])]
+
+        fast, seed = run_both(config, make_suppliers)
+        assert_cycle_identical(fast, seed)
+
+
+# --------------------------------------------------------------------------- #
+# model 3: the dual-scalar (Fujitsu-style) machine
+# --------------------------------------------------------------------------- #
+class TestDualScalarEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed_vl=st.sampled_from([4, 32, 128]),
+        latency=st.sampled_from([1, 50, 100]),
+    )
+    def test_dual_scalar_groupings_are_cycle_identical(self, seed_vl, latency):
+        jobs = _make_jobs(sorted(kernel_names())[:2], seed_vl)
+        config = MachineConfig.dual_scalar_fujitsu(latency)
+
+        def make_suppliers() -> list[JobSupplier]:
+            return [SingleJobSupplier(jobs[0]), RepeatingSupplier(jobs[1])]
+
+        fast, seed = run_both(
+            config, make_suppliers, stop_when_completed_on_context0=True
+        )
+        assert_cycle_identical(fast, seed)
+
+    @settings(max_examples=6, deadline=None)
+    @given(spec=workload_strategy)
+    def test_dual_scalar_job_queue_is_cycle_identical(self, spec):
+        job = Job.from_program(build_workload(spec))
+        config = MachineConfig.dual_scalar_fujitsu()
+
+        def make_suppliers() -> list[JobSupplier]:
+            queue = JobQueueSupplier([job])
+            return [queue, queue]
+
+        fast, seed = run_both(config, make_suppliers)
+        assert_cycle_identical(fast, seed)
+
+
+# --------------------------------------------------------------------------- #
+# model 4: the Cray-style multi-issue / multi-port machine
+# --------------------------------------------------------------------------- #
+class TestCrayStyleEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        num_contexts=st.sampled_from([2, 4]),
+        issue_width=st.sampled_from([2, 3]),
+        ports=st.sampled_from([1, 3]),
+        seed_vl=st.sampled_from([8, 64]),
+    )
+    def test_multi_issue_runs_are_cycle_identical(
+        self, num_contexts, issue_width, ports, seed_vl
+    ):
+        jobs = _make_jobs((sorted(kernel_names()) * 2)[:num_contexts], seed_vl)
+        config = MachineConfig.cray_style(
+            num_contexts, 50, num_memory_ports=ports,
+            issue_width=min(issue_width, num_contexts),
+        )
+
+        def make_suppliers() -> list[JobSupplier]:
+            return [SingleJobSupplier(job) for job in jobs]
+
+        fast, seed = run_both(config, make_suppliers)
+        assert_cycle_identical(fast, seed)
+
+
+# --------------------------------------------------------------------------- #
+# trace-driven replay: both decode paths feed identical streams
+# --------------------------------------------------------------------------- #
+class TestTraceReplayEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(spec=workload_strategy)
+    def test_trace_replay_matches_program_replay(self, spec):
+        from repro.trace.dixie import trace_program
+
+        program = build_workload(spec)
+        trace = trace_program(program)
+        config = MachineConfig.reference(50)
+        fast, seed = run_both(
+            config, lambda: [SingleJobSupplier(Job.from_trace(trace))]
+        )
+        assert_cycle_identical(fast, seed)
+        program_fast, _ = run_both(
+            config, lambda: [SingleJobSupplier(Job.from_program(program))]
+        )
+        assert_cycle_identical(program_fast, fast)
