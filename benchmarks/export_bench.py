@@ -17,7 +17,8 @@ Usage::
 
 With ``--check-against`` the freshly measured numbers are compared entry by
 entry against a previously committed baseline and the process exits non-zero
-when any single-run throughput dropped by more than ``--max-regression``
+when any single-run throughput — or the stats-finalize reduction rate of the
+columnar statistics pipeline — dropped by more than ``--max-regression``
 (default 30%).  Absolute instrs/sec depend on the host, so every export also
 records a *calibration score* (ops/sec of a fixed pure-Python workload) and
 the regression gate compares throughput **normalized by that score**: a
@@ -147,6 +148,85 @@ def measure_single_runs(repeats: int) -> list[dict]:
     return entries
 
 
+#: Rows of the synthetic event log used by the stats-finalize microbenchmark.
+STATS_FINALIZE_ROWS = 200_000
+
+
+def measure_stats_finalize(repeats: int) -> list[dict]:
+    """Rows/sec through the columnar event-log → statistics reduction.
+
+    Builds one synthetic dispatch log (4 threads × 3 jobs, mixed
+    scalar/vector rows) plus the three unit interval buffers, and times a
+    full finalize-style reduction: every per-run/per-thread/per-job counter
+    plus the figure-4 state sweep.  The entry's ``model`` field records
+    which reduction path ran (``numpy`` or ``fallback``), so the regression
+    gate only ever compares like against like.
+    """
+    from repro.core.eventlog import (
+        DispatchLog,
+        FlatIntervalRecorder,
+        numpy_enabled,
+        reduce_dispatch_log,
+    )
+    from repro.core.statistics import (
+        JobRecord,
+        SimulationStats,
+        ThreadStats,
+        fu_state_breakdown,
+    )
+
+    log = DispatchLog()
+    extend = log.values.extend
+    recorders = [
+        FlatIntervalRecorder("FU2"),
+        FlatIntervalRecorder("FU1"),
+        FlatIntervalRecorder("LD"),
+    ]
+    for index in range(STATS_FINALIZE_ROWS):
+        thread_id = index & 3
+        job_ordinal = (index >> 2) % 3
+        vl = 16 + (index % 113)
+        kind = index % 4
+        if kind == 0:
+            extend((thread_id, job_ordinal, 0, 0, 0, 0))
+        elif kind == 1:
+            extend((thread_id, job_ordinal, 0, 0, 0, 1))
+        elif kind == 2:
+            extend((thread_id, job_ordinal, 1, vl, vl, 0))
+            recorders[index & 1].record(index, index + vl)
+        else:
+            extend((thread_id, job_ordinal, 1, vl, 0, vl))
+            recorders[2].record(index, index + vl)
+
+    def finalize() -> None:
+        threads = []
+        for thread_id in range(4):
+            thread = ThreadStats(thread_id=thread_id)
+            thread.jobs = [
+                JobRecord(program=f"job-{ordinal}", thread_id=thread_id, start_cycle=0)
+                for ordinal in range(3)
+            ]
+            threads.append(thread)
+        stats = SimulationStats(threads=threads)
+        reduce_dispatch_log(log, stats)
+        for recorder in recorders:
+            # every repeat pays the full interval merge, not a cache hit
+            recorder.drop_merge_memo()
+        fu_state_breakdown(*recorders, STATS_FINALIZE_ROWS * 2)
+
+    seconds = _time_run(finalize, repeats)
+    return [
+        {
+            "benchmark": "stats_finalize",
+            "model": "numpy" if numpy_enabled() else "fallback",
+            "workload": f"rows@{STATS_FINALIZE_ROWS}",
+            "instructions": STATS_FINALIZE_ROWS,
+            "seconds": round(seconds, 6),
+            "instrs_per_sec": round(STATS_FINALIZE_ROWS / seconds, 1),
+        }
+    ]
+
+
 def measure_batch_scaling(repeats: int) -> list[dict]:
     """Wall time of the fixed request list under 1, 2 and 4 worker processes."""
     suite = build_suite(scale=BATCH_SCALE)
@@ -186,7 +266,11 @@ def collect(repeats: int) -> dict:
         "platform": platform.platform(),
         "measured_at_unix": int(time.time()),
         "calibration_ops_per_sec": _calibration_score(),
-        "entries": measure_single_runs(repeats) + measure_batch_scaling(repeats),
+        "entries": (
+            measure_single_runs(repeats)
+            + measure_stats_finalize(repeats)
+            + measure_batch_scaling(repeats)
+        ),
     }
 
 
@@ -210,7 +294,7 @@ def check_regression(current: dict, baseline: dict, max_regression: float) -> li
     baseline_by_key = {_entry_key(entry): entry for entry in baseline["entries"]}
     failures = []
     for entry in current["entries"]:
-        if entry["benchmark"] != "single_run_throughput":
+        if entry["benchmark"] not in ("single_run_throughput", "stats_finalize"):
             # batch-scaling rows measure process-pool behaviour, which is
             # dominated by core count on shared CI runners; record only.
             continue

@@ -205,7 +205,7 @@ def _ship_payload(request: SimulationRequest) -> bytes | None:
         if multiprocessing.get_start_method(allow_none=False) != "fork":
             return None
     try:
-        return pickle.dumps(request)
+        return pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception:
         return None
 
@@ -271,12 +271,17 @@ def run_batch(
         results[index] = _execute_request(requests[index])
 
     # Record the fresh results and materialize within-batch duplicates.
+    # Result pickles are compact — columnar statistics ship their flat
+    # integer buffers as raw bytes — which keeps both the worker IPC above
+    # and this duplicate materialization cheap.
     if cache is not None:
         for index in pending:
             cache.put(keys[index], results[index])
         for index in duplicates:
             primary = results[primary_for_key[keys[index]]]
-            results[index] = pickle.loads(pickle.dumps(primary))
+            results[index] = pickle.loads(
+                pickle.dumps(primary, protocol=pickle.HIGHEST_PROTOCOL)
+            )
     return results  # type: ignore[return-value]
 
 

@@ -126,8 +126,13 @@ class RunCache:
         return pickle.loads(payload)
 
     def put(self, key: tuple, result: SimulationResult) -> None:
-        """Store one simulation result (a pickled snapshot, not the object)."""
-        self._entries[key] = pickle.dumps(result)
+        """Store one simulation result (a pickled snapshot, not the object).
+
+        Results serialize compactly: the statistics containers are columnar
+        (flat integer buffers shipped as raw bytes), not per-event object
+        graphs.
+        """
+        self._entries[key] = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         self._entries.move_to_end(key)
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:

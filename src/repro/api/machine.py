@@ -39,6 +39,7 @@ from repro.core.dual_scalar import DualScalarSimulator
 from repro.core.engine import SimulationEngine
 from repro.core.ideal import IdealMachineModel
 from repro.core.multithreaded import MultithreadedSimulator
+from repro.core.eventlog import FlatIntervalRecorder
 from repro.core.reference import ReferenceSimulator, as_job
 from repro.core.results import SimulationResult
 from repro.core.statistics import SimulationStats
@@ -217,7 +218,13 @@ class _IdealBackend(MachineBackend):
             raise SimulationError("the IDEAL bound needs at least one workload")
         stats_list = [measure_stream(job.open_stream(), name=job.name) for job in jobs]
         cycles = self._model.bound_for_stats(stats_list)
+        # flat-array recorders (empty: the analytic bound has no unit
+        # timeline) so every result, simulated or analytic, marshals the
+        # same compact columnar containers through batch IPC and the cache
         stats = SimulationStats(
+            fu2_intervals=FlatIntervalRecorder("FU2"),
+            fu1_intervals=FlatIntervalRecorder("FU1"),
+            ld_intervals=FlatIntervalRecorder("LD"),
             cycles=cycles,
             instructions=sum(s.total_instructions for s in stats_list),
             scalar_instructions=sum(s.scalar_instructions for s in stats_list),

@@ -5,6 +5,13 @@ from repro.core.context import HardwareContext
 from repro.core.dispatch import DispatchModel, DispatchOutcome
 from repro.core.dual_scalar import DualScalarSimulator
 from repro.core.engine import SimulationEngine
+from repro.core.eventlog import (
+    DISPATCH_FIELDS,
+    DispatchLog,
+    FlatIntervalRecorder,
+    numpy_enabled,
+    reduce_dispatch_log,
+)
 from repro.core.functional_units import FunctionalUnit, VectorUnitPool
 from repro.core.ideal import IdealMachineModel, ideal_execution_time
 from repro.core.multithreaded import MultithreadedSimulator
@@ -36,10 +43,13 @@ from repro.core.suppliers import (
 )
 
 __all__ = [
+    "DISPATCH_FIELDS",
+    "DispatchLog",
     "DispatchModel",
     "DispatchOutcome",
     "DualScalarSimulator",
     "FU_STATE_NAMES",
+    "FlatIntervalRecorder",
     "FunctionalUnit",
     "HardwareContext",
     "IdealMachineModel",
@@ -69,6 +79,8 @@ __all__ = [
     "create_scheduler",
     "fu_state_breakdown",
     "ideal_execution_time",
+    "numpy_enabled",
+    "reduce_dispatch_log",
     "scheduler_names",
     "simulate_program",
 ]

@@ -45,6 +45,10 @@ class HardwareContext:
         #: Dispatch-layer ready-time cache for the current head instruction:
         #: ``(head, earliest, scoreboard_version, unit_pool_version)``.
         self.issue_cache: tuple[Instruction, int, int, int] | None = None
+        #: Index of the currently running job in ``stats.jobs``; recorded in
+        #: the columnar dispatch log so per-job instruction counts can be
+        #: reduced at run finalization (-1 until the first job is fetched).
+        self.job_ordinal = -1
 
     # ------------------------------------------------------------------ #
     @property
@@ -89,6 +93,7 @@ class HardwareContext:
                 self.stats.jobs.append(
                     JobRecord(program=job.name, thread_id=self.thread_id, start_cycle=now)
                 )
+                self.job_ordinal = len(self.stats.jobs) - 1
             try:
                 self._head = next(self._stream)
             except StopIteration:
@@ -108,20 +113,16 @@ class HardwareContext:
 
     # ------------------------------------------------------------------ #
     def consume(self, instruction: Instruction) -> None:
-        """Account for the dispatch of the current head instruction."""
+        """Advance past the dispatched head instruction.
+
+        Only the live ``instructions`` counter is bumped here — it feeds the
+        instruction-limit check and the least-service scheduler mid-run.  All
+        other per-dispatch accounting lands in the columnar dispatch log and
+        is reduced once at run finalization.
+        """
         self._head = None
         self.issue_cache = None
-        stats = self.stats
-        stats.instructions += 1
-        if stats.jobs:
-            stats.jobs[-1].instructions += 1
-        if instruction.is_vector_arithmetic or instruction.is_vector_memory:
-            stats.vector_instructions += 1
-            stats.vector_operations += instruction.element_count
-        else:
-            stats.scalar_instructions += 1
-        if instruction.is_memory:
-            stats.memory_transactions += instruction.memory_transactions
+        self.stats.instructions += 1
 
     def record_lost_cycle(self) -> None:
         """Account for a decode cycle lost to this context's blocked instruction."""

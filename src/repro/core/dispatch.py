@@ -31,12 +31,13 @@ from dataclasses import dataclass
 
 from repro.core.config import MachineConfig
 from repro.core.context import HardwareContext
+from repro.core.eventlog import DispatchLog
 from repro.core.functional_units import VectorUnitPool
 from repro.errors import SimulationError
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass
-from repro.memory.request import AccessKind, MemoryRequest
-from repro.memory.system import MemorySystem
+from repro.memory.request import AccessKind
+from repro.memory.system import _KIND_CODE, MemorySystem
 
 __all__ = ["DispatchModel", "DispatchOutcome"]
 
@@ -63,6 +64,15 @@ _ACCESS_KIND_BY_CLASS = {
     OpClass.SCALAR_STORE: AccessKind.SCALAR_STORE,
 }
 
+# dense kind codes / load flags per opcode class, resolved once so the
+# per-transaction hot path never touches enum hashing or containment
+_MEMORY_CODE_BY_CLASS = {
+    op_class: _KIND_CODE[kind] for op_class, kind in _ACCESS_KIND_BY_CLASS.items()
+}
+_MEMORY_IS_LOAD_BY_CLASS = {
+    op_class: kind.is_load for op_class, kind in _ACCESS_KIND_BY_CLASS.items()
+}
+
 
 class DispatchModel:
     """Shared execution-timing model used by all simulator front-ends."""
@@ -72,10 +82,16 @@ class DispatchModel:
         config: MachineConfig,
         memory: MemorySystem,
         vector_units: VectorUnitPool,
+        dispatch_log: DispatchLog | None = None,
     ) -> None:
         self.config = config
         self.memory = memory
         self.vector_units = vector_units
+        #: Columnar per-dispatch counter log; every dispatch appends one
+        #: flat row here instead of mutating statistics objects.
+        self.dispatch_log = dispatch_log if dispatch_log is not None else DispatchLog()
+        self._log_extend = self.dispatch_log.values.extend
+        self._scalar_latency = config.latencies.scalar_latency
 
     # ------------------------------------------------------------------ #
     # question 1: when could this instruction issue?
@@ -119,24 +135,79 @@ class DispatchModel:
     # ------------------------------------------------------------------ #
     # question 2: what happens when it issues?
     # ------------------------------------------------------------------ #
+    def execute(
+        self, context: HardwareContext, instruction: Instruction, now: int
+    ) -> None:
+        """Dispatch the instruction and record its columnar statistics row.
+
+        This is the engine's hot path: all bookkeeping happens (functional
+        units, scoreboard, memory system, the dispatch log) but no
+        :class:`DispatchOutcome` is allocated — the per-dispatch counters
+        land as one flat integer row in :attr:`dispatch_log`.
+        """
+        if instruction.is_vector_arithmetic:
+            self._dispatch_vector_arithmetic(context, instruction, now)
+        elif instruction.is_vector_memory:
+            self._dispatch_vector_memory(context, instruction, now)
+        elif instruction.is_memory:
+            self._dispatch_scalar_memory(context, instruction, now)
+        else:
+            self._dispatch_scalar(context, instruction, now)
+
     def dispatch(
         self, context: HardwareContext, instruction: Instruction, now: int
     ) -> DispatchOutcome:
-        """Dispatch the instruction at cycle ``now`` and perform all bookkeeping."""
+        """Like :meth:`execute`, but returns a summary :class:`DispatchOutcome`.
+
+        Kept for API users and tests that inspect individual dispatches; the
+        engine loops use :meth:`execute`, which skips the outcome allocation.
+        """
         if instruction.is_vector_arithmetic:
-            return self._dispatch_vector_arithmetic(context, instruction, now)
+            completion, unit_name = self._dispatch_vector_arithmetic(
+                context, instruction, now
+            )
+            return DispatchOutcome(
+                instruction=instruction,
+                thread_id=context.thread_id,
+                cycle=now,
+                completion=completion,
+                vector_arithmetic_operations=instruction.vl,
+                used_vector_unit=unit_name,
+            )
         if instruction.is_vector_memory:
-            return self._dispatch_vector_memory(context, instruction, now)
+            completion, unit_name = self._dispatch_vector_memory(
+                context, instruction, now
+            )
+            return DispatchOutcome(
+                instruction=instruction,
+                thread_id=context.thread_id,
+                cycle=now,
+                completion=completion,
+                memory_transactions=instruction.vl,
+                used_vector_unit=unit_name,
+            )
         if instruction.is_memory:
-            return self._dispatch_scalar_memory(context, instruction, now)
-        return self._dispatch_scalar(context, instruction, now)
+            completion = self._dispatch_scalar_memory(context, instruction, now)
+            return DispatchOutcome(
+                instruction=instruction,
+                thread_id=context.thread_id,
+                cycle=now,
+                completion=completion,
+                memory_transactions=1,
+            )
+        completion = self._dispatch_scalar(context, instruction, now)
+        return DispatchOutcome(
+            instruction=instruction,
+            thread_id=context.thread_id,
+            cycle=now,
+            completion=completion,
+        )
 
     # ------------------------------------------------------------------ #
     def _dispatch_scalar(
         self, context: HardwareContext, instruction: Instruction, now: int
-    ) -> DispatchOutcome:
-        latency = self.config.latencies.scalar_latency(instruction.latency_class)
-        ready_at = now + latency
+    ) -> int:
+        ready_at = now + self._scalar_latency(instruction.latency_class)
         for source in instruction.srcs:
             context.scoreboard.record_read(source, now, now + 1)
         if instruction.dest is not None:
@@ -146,30 +217,19 @@ class DispatchModel:
                 ready_at=ready_at,
                 chainable=True,
             )
-        return DispatchOutcome(
-            instruction=instruction,
-            thread_id=context.thread_id,
-            cycle=now,
-            completion=ready_at,
-        )
+        self._log_extend((context.thread_id, context.job_ordinal, 0, 0, 0, 0))
+        return ready_at
 
     def _dispatch_scalar_memory(
         self, context: HardwareContext, instruction: Instruction, now: int
-    ) -> DispatchOutcome:
-        kind = _ACCESS_KIND_BY_CLASS[instruction.op_class]
-        request = MemoryRequest(
-            kind=kind,
-            elements=1,
-            address=instruction.address or 0,
-            stride=1,
-            thread_id=context.thread_id,
+    ) -> int:
+        start, _first, completion = self.memory.schedule_columnar(
+            _MEMORY_CODE_BY_CLASS[instruction.op_class], 1, 1, now + 1
         )
-        timing = self.memory.schedule(request, earliest=now + 1)
         for source in instruction.srcs:
-            context.scoreboard.record_read(source, now, timing.start + 1)
-        completion = timing.completion
+            context.scoreboard.record_read(source, now, start + 1)
         if instruction.dest is not None:  # scalar load
-            ready_at = timing.completion + 1
+            ready_at = completion + 1
             context.scoreboard.record_write(
                 instruction.dest,
                 first_element_at=ready_at,
@@ -177,17 +237,12 @@ class DispatchModel:
                 chainable=True,
             )
             completion = ready_at
-        return DispatchOutcome(
-            instruction=instruction,
-            thread_id=context.thread_id,
-            cycle=now,
-            completion=completion,
-            memory_transactions=1,
-        )
+        self._log_extend((context.thread_id, context.job_ordinal, 0, 0, 0, 1))
+        return completion
 
     def _dispatch_vector_arithmetic(
         self, context: HardwareContext, instruction: Instruction, now: int
-    ) -> DispatchOutcome:
+    ) -> tuple[int, str]:
         if instruction.vl is None:
             raise SimulationError(f"vector instruction without a vector length: {instruction}")
         vl = instruction.vl
@@ -232,18 +287,12 @@ class DispatchModel:
                     ready_at=completion + 1,
                     chainable=True,
                 )
-        return DispatchOutcome(
-            instruction=instruction,
-            thread_id=context.thread_id,
-            cycle=now,
-            completion=completion,
-            vector_arithmetic_operations=vl,
-            used_vector_unit=unit.name,
-        )
+        self._log_extend((context.thread_id, context.job_ordinal, 1, vl, vl, 0))
+        return completion, unit.name
 
     def _dispatch_vector_memory(
         self, context: HardwareContext, instruction: Instruction, now: int
-    ) -> DispatchOutcome:
+    ) -> tuple[int, str]:
         if instruction.vl is None:
             raise SimulationError(f"vector instruction without a vector length: {instruction}")
         vl = instruction.vl
@@ -254,14 +303,7 @@ class DispatchModel:
                 f"LD unit is busy until {unit_choice.earliest}, cannot dispatch at {now}"
             )
         unit = unit_choice.unit
-        kind = _ACCESS_KIND_BY_CLASS[instruction.op_class]
-        request = MemoryRequest(
-            kind=kind,
-            elements=vl,
-            address=instruction.address or 0,
-            stride=instruction.stride or 1,
-            thread_id=context.thread_id,
-        )
+        op_class = instruction.op_class
         address_earliest = now + 1 + config.vector_startup
         if instruction.vector_sources():
             # stores read their data register (and gathers their index vector)
@@ -271,13 +313,15 @@ class DispatchModel:
                 context.scoreboard.chain_start(instruction, address_earliest)
                 + config.read_crossbar_latency
             )
-        timing = self.memory.schedule(request, earliest=address_earliest)
-        streaming_end = timing.start + vl
+        start, first_element, completion = self.memory.schedule_columnar(
+            _MEMORY_CODE_BY_CLASS[op_class], vl, instruction.stride or 1, address_earliest
+        )
+        streaming_end = start + vl
 
-        if kind.is_load:
-            record_until = timing.completion
+        if _MEMORY_IS_LOAD_BY_CLASS[op_class]:
+            record_until = completion
         else:
-            record_until = timing.completion + 1
+            record_until = completion + 1
         unit.reserve(now, streaming_end, elements=vl, record_until=record_until)
 
         for source in instruction.vector_sources():
@@ -287,18 +331,12 @@ class DispatchModel:
         if instruction.dest is not None:
             # vector loads/gathers are NOT chainable into functional units on
             # the modeled machine: consumers wait for the full completion.
-            ready_at = timing.completion + config.write_crossbar_latency + 1
+            ready_at = completion + config.write_crossbar_latency + 1
             context.scoreboard.record_write(
                 instruction.dest,
-                first_element_at=timing.first_element + config.write_crossbar_latency,
+                first_element_at=first_element + config.write_crossbar_latency,
                 ready_at=ready_at,
                 chainable=False,
             )
-        return DispatchOutcome(
-            instruction=instruction,
-            thread_id=context.thread_id,
-            cycle=now,
-            completion=timing.completion,
-            memory_transactions=vl,
-            used_vector_unit=unit.name,
-        )
+        self._log_extend((context.thread_id, context.job_ordinal, 1, vl, 0, vl))
+        return completion, unit.name

@@ -27,7 +27,8 @@ from collections.abc import Callable, Sequence
 
 from repro.core.config import MachineConfig
 from repro.core.context import HardwareContext
-from repro.core.dispatch import DispatchModel, DispatchOutcome
+from repro.core.dispatch import DispatchModel
+from repro.core.eventlog import DispatchLog, reduce_dispatch_log
 from repro.core.functional_units import VectorUnitPool
 from repro.core.results import SimulationResult
 from repro.core.scheduler import ThreadScheduler, create_scheduler
@@ -77,7 +78,12 @@ class SimulationEngine:
             num_ports=config.num_memory_ports,
         )
         self.vector_units = VectorUnitPool(num_load_store_units=config.num_memory_ports)
-        self.dispatch_model = DispatchModel(config, self.memory, self.vector_units)
+        #: Columnar event log: one flat integer row per dynamic instruction,
+        #: reduced into every counter of :attr:`stats` at :meth:`_finalize`.
+        self.event_log = DispatchLog()
+        self.dispatch_model = DispatchModel(
+            config, self.memory, self.vector_units, dispatch_log=self.event_log
+        )
         self.scheduler = scheduler or create_scheduler(config.scheduler)
         self.contexts = [
             HardwareContext(
@@ -122,8 +128,7 @@ class SimulationEngine:
         # touches more than once per iteration is hoisted to a local.
         dispatch_model = self.dispatch_model
         earliest_issue = dispatch_model.earliest_issue
-        dispatch = dispatch_model.dispatch
-        account = self._account
+        execute = dispatch_model.execute
         stats = self.stats
         select = self.scheduler.select
         active: HardwareContext | None = None
@@ -144,9 +149,9 @@ class SimulationEngine:
                 active = None
                 continue
             if earliest_issue(active, head, cycle) <= cycle:
-                outcome = dispatch(active, head, cycle)
+                execute(active, head, cycle)
                 active.consume(head)
-                account(outcome)
+                stats.instructions += 1
                 self.cycle = cycle + 1
                 continue
             # the active thread blocks: the decode cycle is lost and the switch
@@ -156,11 +161,17 @@ class SimulationEngine:
             self.cycle = cycle + 1
             ready = self._ready_contexts(self.cycle)
             if not ready:
-                jump_to = self._earliest_unblock(self.cycle)
+                jump_to, ready_at_jump = self._earliest_unblock_ready(self.cycle)
                 if jump_to is None:
                     return "completed"
                 self._skip_blocked_window(jump_to, max_cycles)
-                ready = self._ready_contexts(self.cycle)
+                # nothing dispatched between the scan and the jump, so the
+                # ready set established by the scan is still exact — unless
+                # the jump was clamped at max_cycles, where we rescan.
+                if self.cycle == jump_to:
+                    ready = ready_at_jump
+                else:
+                    ready = self._ready_contexts(self.cycle)
             if ready:
                 active = select(ready, previous=active, cycle=self.cycle)
         return "max-cycles"
@@ -174,8 +185,7 @@ class SimulationEngine:
         contexts = self.contexts
         dispatch_model = self.dispatch_model
         earliest_issue = dispatch_model.earliest_issue
-        dispatch = dispatch_model.dispatch
-        account = self._account
+        execute = dispatch_model.execute
         stats = self.stats
         while self.cycle < max_cycles:
             if stop_when is not None and stop_when(self):
@@ -195,9 +205,9 @@ class SimulationEngine:
                 earliest = earliest_issue(context, head, cycle)
                 uses_vector_facility = head.is_vector_arithmetic or head.is_vector_memory
                 if earliest <= cycle and not (uses_vector_facility and vector_issued):
-                    outcome = dispatch(context, head, cycle)
+                    execute(context, head, cycle)
                     context.consume(head)
-                    account(outcome)
+                    stats.instructions += 1
                     dispatched += 1
                     if uses_vector_facility:
                         vector_issued = True
@@ -232,8 +242,7 @@ class SimulationEngine:
         contexts = self.contexts
         dispatch_model = self.dispatch_model
         earliest_issue = dispatch_model.earliest_issue
-        dispatch = dispatch_model.dispatch
-        account = self._account
+        execute = dispatch_model.execute
         stats = self.stats
         select = self.scheduler.select
         while self.cycle < max_cycles:
@@ -260,9 +269,9 @@ class SimulationEngine:
                     break
                 chosen = select(ready, previous=None, cycle=cycle)
                 head = chosen.head(cycle)
-                outcome = dispatch(chosen, head, cycle)
+                execute(chosen, head, cycle)
                 chosen.consume(head)
-                account(outcome)
+                stats.instructions += 1
                 dispatched += 1
                 remaining = [(c, h) for c, h in remaining if c is not chosen]
             blocked_until: int | None = None
@@ -332,8 +341,21 @@ class SimulationEngine:
         return ready
 
     def _earliest_unblock(self, cycle: int) -> int | None:
+        return self._earliest_unblock_ready(cycle)[0]
+
+    def _earliest_unblock_ready(
+        self, cycle: int
+    ) -> tuple[int | None, list[HardwareContext]]:
+        """The earliest unblock cycle *and* the contexts that unblock there.
+
+        Called only when no context is ready at ``cycle``, so every ready
+        time strictly exceeds ``cycle`` and the contexts achieving the
+        minimum are exactly the ready set after the blocked-window jump —
+        the caller reuses it instead of rescanning every context.
+        """
         earliest_issue = self.dispatch_model.earliest_issue
         earliest: int | None = None
+        ready: list[HardwareContext] = []
         for context in self.contexts:
             if context.finished:
                 continue
@@ -343,38 +365,33 @@ class SimulationEngine:
             time = earliest_issue(context, head, cycle)
             if earliest is None or time < earliest:
                 earliest = time
-        return earliest
-
-    def _account(self, outcome: DispatchOutcome) -> None:
-        stats = self.stats
-        instruction = outcome.instruction
-        stats.instructions += 1
-        stats.decode_busy_cycles += 1
-        if instruction.is_vector_arithmetic or instruction.is_vector_memory:
-            stats.vector_instructions += 1
-            stats.vector_operations += instruction.element_count
-            stats.vector_arithmetic_operations += outcome.vector_arithmetic_operations
-        else:
-            stats.scalar_instructions += 1
-        stats.memory_transactions += outcome.memory_transactions
+                ready = [context]
+            elif time == earliest:
+                ready.append(context)
+        return earliest, ready
 
     def _finalize(self, stop_reason: str) -> SimulationResult:
-        self.stats.cycles = self.cycle
-        self.stats.memory_port_busy_cycles = self.memory.address_port_busy_cycles
-        self.stats.memory_ports = self.memory.num_ports
-        self.stats.fu1_intervals = self.vector_units.fu1.intervals
-        self.stats.fu2_intervals = self.vector_units.fu2.intervals
-        if len(self.vector_units.load_store_units) == 1:
-            self.stats.ld_intervals = self.vector_units.load_store.intervals
+        stats = self.stats
+        stats.cycles = self.cycle
+        stats.memory_port_busy_cycles = self.memory.address_port_busy_cycles
+        stats.memory_ports = self.memory.num_ports
+        units = self.vector_units
+        stats.fu1_intervals = units.fu1.intervals
+        stats.fu2_intervals = units.fu2.intervals
+        if len(units.load_store_units) == 1:
+            stats.ld_intervals = units.load_store.intervals
         else:
-            self.stats.ld_intervals = self.vector_units.combined_load_store_intervals()
+            stats.ld_intervals = units.combined_load_store_intervals()
         # close the job records of contexts that were still running at the end
         for context in self.contexts:
             record = context.stats.current_job
             if record is not None:
                 record.end_cycle = self.cycle
+        # one-shot reduction of the columnar event log into every per-run,
+        # per-thread and per-job counter
+        reduce_dispatch_log(self.event_log, stats)
         return SimulationResult(
             config=self.config,
-            stats=self.stats,
+            stats=stats,
             stop_reason=stop_reason,
         )

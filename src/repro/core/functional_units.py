@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.statistics import IntervalRecorder
+from repro.core.eventlog import FlatIntervalRecorder
 from repro.errors import SimulationError
 from repro.isa.instruction import Instruction
 
@@ -30,7 +30,9 @@ class FunctionalUnit:
     def __init__(self, name: str) -> None:
         self.name = name
         self._free_at = 0
-        self.intervals = IntervalRecorder(name)
+        # busy windows land in a flat (start, end) int buffer; every derived
+        # metric is reduced from it once at run finalization
+        self.intervals = FlatIntervalRecorder(name)
         self.instructions_executed = 0
         self.element_operations = 0
         # Pool this unit belongs to, if any; reservations bump the pool's
@@ -110,12 +112,11 @@ class VectorUnitPool:
         """The first (and usually only) memory unit."""
         return self.load_store_units[0]
 
-    def combined_load_store_intervals(self) -> "IntervalRecorder":
+    def combined_load_store_intervals(self) -> FlatIntervalRecorder:
         """Busy intervals of the memory unit(s), merged for the figure-4 breakdown."""
-        combined = IntervalRecorder("LD")
+        combined = FlatIntervalRecorder("LD")
         for unit in self.load_store_units:
-            for start, end in unit.intervals.intervals:
-                combined.record(start, end)
+            combined.extend_pairs(unit.intervals)
         return combined
 
     # ------------------------------------------------------------------ #

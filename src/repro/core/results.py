@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import MachineConfig
-from repro.core.statistics import JobRecord, SimulationStats
+from repro.core.statistics import FU_STATE_NAMES, JobRecord, SimulationStats
 
 __all__ = ["SimulationResult"]
 
@@ -70,6 +70,43 @@ class SimulationResult:
     def fu_state_breakdown(self) -> dict[str, int]:
         """Execution-time breakdown into the eight figure-4 states."""
         return self.stats.fu_state_breakdown()
+
+    def fu_state_vector(self) -> tuple[int, ...]:
+        """The figure-4 breakdown as a tuple aligned with ``FU_STATE_NAMES``."""
+        breakdown = self.stats.fu_state_breakdown()
+        return tuple(breakdown[name] for name in FU_STATE_NAMES)
+
+    # -- columnar views -------------------------------------------------- #
+    def counters(self) -> dict[str, int]:
+        """Every raw per-run counter as one flat mapping."""
+        return self.stats.counters()
+
+    def job_table(self) -> dict[str, list]:
+        """All job records as parallel columns (one list per field).
+
+        Column keys: ``program``, ``thread_id``, ``start_cycle``,
+        ``end_cycle``, ``instructions``, ``completed``.  Row order matches
+        :meth:`jobs`.  Experiment code that aggregates over many records
+        (the section 4.1 speedup accounting, the figure-9 timeline) iterates
+        these columns instead of attribute-chasing record objects.
+        """
+        table: dict[str, list] = {
+            "program": [],
+            "thread_id": [],
+            "start_cycle": [],
+            "end_cycle": [],
+            "instructions": [],
+            "completed": [],
+        }
+        for thread in self.stats.threads:
+            for record in thread.jobs:
+                table["program"].append(record.program)
+                table["thread_id"].append(record.thread_id)
+                table["start_cycle"].append(record.start_cycle)
+                table["end_cycle"].append(record.end_cycle)
+                table["instructions"].append(record.instructions)
+                table["completed"].append(record.completed)
+        return table
 
     def summary(self) -> dict[str, float]:
         """A compact dictionary of the headline metrics."""

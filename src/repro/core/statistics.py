@@ -20,10 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.eventlog import FlatIntervalRecorder, active_numpy
 from repro.errors import SimulationError
 
 __all__ = [
     "FU_STATE_NAMES",
+    "FlatIntervalRecorder",
     "IntervalRecorder",
     "JobRecord",
     "SimulationStats",
@@ -57,11 +59,20 @@ def state_name(fu2_busy: bool, fu1_busy: bool, ld_busy: bool) -> str:
 
 
 class IntervalRecorder:
-    """Records busy intervals ``[start, end)`` of one functional unit."""
+    """Records busy intervals ``[start, end)`` of one functional unit.
+
+    This is the object-per-interval fallback recorder (and the data structure
+    of the frozen seed oracle); the optimized engine records into the
+    flat-array :class:`~repro.core.eventlog.FlatIntervalRecorder`, which
+    mirrors this surface exactly.  ``merged`` results are memoized per
+    horizon and invalidated by ``record``/``reset``, so ``busy_cycles`` and
+    the figure-4 breakdown stop re-sorting the same intervals.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._intervals: list[tuple[int, int]] = []
+        self._merged_cache: dict[int | None, list[tuple[int, int]]] = {}
 
     def record(self, start: int, end: int) -> None:
         """Record one busy interval; zero-length intervals are ignored."""
@@ -71,6 +82,8 @@ class IntervalRecorder:
             )
         if end > start:
             self._intervals.append((start, end))
+            if self._merged_cache:
+                self._merged_cache = {}
 
     @property
     def intervals(self) -> list[tuple[int, int]]:
@@ -86,41 +99,63 @@ class IntervalRecorder:
 
     def merged(self, horizon: int | None = None) -> list[tuple[int, int]]:
         """Intervals merged into a sorted, non-overlapping list, clipped to ``horizon``."""
+        cached = self._merged_cache.get(horizon)
+        if cached is not None:
+            return list(cached)
         clipped: list[tuple[int, int]] = []
         for start, end in self._intervals:
             if horizon is not None:
                 end = min(end, horizon)
             if end > start:
                 clipped.append((start, end))
-        if not clipped:
-            return []
-        clipped.sort()
-        merged = [clipped[0]]
-        for start, end in clipped[1:]:
-            last_start, last_end = merged[-1]
-            if start <= last_end:
-                merged[-1] = (last_start, max(last_end, end))
-            else:
-                merged.append((start, end))
-        return merged
+        merged: list[tuple[int, int]] = []
+        if clipped:
+            clipped.sort()
+            merged = [clipped[0]]
+            for start, end in clipped[1:]:
+                last_start, last_end = merged[-1]
+                if start <= last_end:
+                    merged[-1] = (last_start, max(last_end, end))
+                else:
+                    merged.append((start, end))
+        self._merged_cache[horizon] = merged
+        return list(merged)
 
     def reset(self) -> None:
         """Drop all recorded intervals."""
         self._intervals.clear()
+        self._merged_cache = {}
 
 
 def fu_state_breakdown(
-    fu2: IntervalRecorder,
-    fu1: IntervalRecorder,
-    ld: IntervalRecorder,
+    fu2: "IntervalRecorder | FlatIntervalRecorder",
+    fu1: "IntervalRecorder | FlatIntervalRecorder",
+    ld: "IntervalRecorder | FlatIntervalRecorder",
     total_cycles: int,
 ) -> dict[str, int]:
-    """Split ``total_cycles`` into the eight ``(FU2, FU1, LD)`` states of figure 4."""
+    """Split ``total_cycles`` into the eight ``(FU2, FU1, LD)`` states of figure 4.
+
+    Accepts either recorder flavour (object-per-interval fallback or the
+    flat-array recorder of the columnar pipeline).  The endpoint sweep is
+    vectorized when numpy is active; both paths produce identical integers.
+    """
     if total_cycles <= 0:
         return {name: 0 for name in FU_STATE_NAMES}
+    merged_by_bit = (
+        (4, fu2.merged(total_cycles)),
+        (2, fu1.merged(total_cycles)),
+        (1, ld.merged(total_cycles)),
+    )
+    np = active_numpy()
+    if np is not None:
+        return _breakdown_sweep_numpy(np, merged_by_bit, total_cycles)
+    return _breakdown_sweep_python(merged_by_bit, total_cycles)
+
+
+def _breakdown_sweep_python(merged_by_bit, total_cycles: int) -> dict[str, int]:
     events: list[tuple[int, int, int]] = []  # (cycle, unit_bit, +1/-1)
-    for bit, recorder in ((4, fu2), (2, fu1), (1, ld)):
-        for start, end in recorder.merged(total_cycles):
+    for bit, merged in merged_by_bit:
+        for start, end in merged:
             events.append((start, bit, 1))
             events.append((end, bit, -1))
     breakdown = {name: 0 for name in FU_STATE_NAMES}
@@ -143,6 +178,40 @@ def fu_state_breakdown(
     if previous_cycle < total_cycles:
         breakdown[FU_STATE_NAMES[max(busy_bits, 0)]] += total_cycles - previous_cycle
     return breakdown
+
+
+def _breakdown_sweep_numpy(np, merged_by_bit, total_cycles: int) -> dict[str, int]:
+    cycles_parts = []
+    deltas_parts = []
+    for bit, merged in merged_by_bit:
+        if not merged:
+            continue
+        pairs = np.asarray(merged, dtype=np.int64)
+        count = pairs.shape[0]
+        cycles_parts.append(pairs[:, 0])
+        deltas_parts.append(np.full(count, bit, dtype=np.int64))
+        cycles_parts.append(pairs[:, 1])
+        deltas_parts.append(np.full(count, -bit, dtype=np.int64))
+    counts = np.zeros(8, dtype=np.int64)
+    if not cycles_parts:
+        counts[0] = total_cycles
+    else:
+        cycles = np.concatenate(cycles_parts)
+        deltas = np.concatenate(deltas_parts)
+        order = np.argsort(cycles, kind="stable")
+        cycles = cycles[order]
+        # busy-bit mask in effect after each event; the state of the segment
+        # between two adjacent distinct event cycles is the mask after the
+        # last event of the earlier cycle (merged inputs keep it in 0..7)
+        prefix = np.cumsum(deltas[order])
+        unique, first_index, group_sizes = np.unique(
+            cycles, return_index=True, return_counts=True
+        )
+        bits = prefix[first_index + group_sizes - 1]
+        counts[0] += int(unique[0])  # idle before the first event
+        lengths = np.diff(np.append(unique, total_cycles))
+        np.add.at(counts, bits, lengths)
+    return {name: int(counts[index]) for index, name in enumerate(FU_STATE_NAMES)}
 
 
 @dataclass
@@ -196,9 +265,15 @@ class SimulationStats:
     decode_lost_cycles: int = 0
     decode_idle_cycles: int = 0
     threads: list[ThreadStats] = field(default_factory=list)
-    fu2_intervals: IntervalRecorder = field(default_factory=lambda: IntervalRecorder("FU2"))
-    fu1_intervals: IntervalRecorder = field(default_factory=lambda: IntervalRecorder("FU1"))
-    ld_intervals: IntervalRecorder = field(default_factory=lambda: IntervalRecorder("LD"))
+    fu2_intervals: "IntervalRecorder | FlatIntervalRecorder" = field(
+        default_factory=lambda: IntervalRecorder("FU2")
+    )
+    fu1_intervals: "IntervalRecorder | FlatIntervalRecorder" = field(
+        default_factory=lambda: IntervalRecorder("FU1")
+    )
+    ld_intervals: "IntervalRecorder | FlatIntervalRecorder" = field(
+        default_factory=lambda: IntervalRecorder("LD")
+    )
 
     # ------------------------------------------------------------------ #
     @property
@@ -246,6 +321,28 @@ class SimulationStats:
             "FU2": self.fu2_intervals.busy_cycles(self.cycles) / self.cycles,
             "FU1": self.fu1_intervals.busy_cycles(self.cycles) / self.cycles,
             "LD": self.ld_intervals.busy_cycles(self.cycles) / self.cycles,
+        }
+
+    def counters(self) -> dict[str, int]:
+        """Every raw per-run counter as one flat mapping (columnar view).
+
+        The keys mirror the scalar dataclass fields; experiment code that
+        exports or tabulates raw counters reads this instead of poking at
+        individual attributes.
+        """
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "scalar_instructions": self.scalar_instructions,
+            "vector_instructions": self.vector_instructions,
+            "vector_operations": self.vector_operations,
+            "vector_arithmetic_operations": self.vector_arithmetic_operations,
+            "memory_transactions": self.memory_transactions,
+            "memory_port_busy_cycles": self.memory_port_busy_cycles,
+            "memory_ports": self.memory_ports,
+            "decode_busy_cycles": self.decode_busy_cycles,
+            "decode_lost_cycles": self.decode_lost_cycles,
+            "decode_idle_cycles": self.decode_idle_cycles,
         }
 
     def thread(self, thread_id: int) -> ThreadStats:

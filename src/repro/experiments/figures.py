@@ -183,14 +183,14 @@ def figure4(context: ExperimentContext | None = None) -> ExperimentReport:
     runs = _reference_runs(context)
     rows = []
     for (name, latency), result in runs.items():
-        breakdown = result.fu_state_breakdown()
         row: dict[str, object] = {
             "program": name,
             "memory_latency": latency,
             "total_cycles": result.cycles,
         }
-        for state in FU_STATE_NAMES:
-            row[state] = breakdown[state]
+        # the state vector comes straight out of the columnar reduction,
+        # aligned with FU_STATE_NAMES
+        row.update(zip(FU_STATE_NAMES, result.fu_state_vector()))
         rows.append(row)
     return ExperimentReport(
         experiment_id="figure4",

@@ -91,10 +91,10 @@ class ReferenceBank:
         busy = 0
         vector_ops = 0
         for name in programs:
-            result = self.full_result(name)
-            total_cycles += result.cycles
-            busy += result.stats.memory_port_busy_cycles
-            vector_ops += result.stats.vector_arithmetic_operations
+            counters = self.full_result(name).counters()
+            total_cycles += counters["cycles"]
+            busy += counters["memory_port_busy_cycles"]
+            vector_ops += counters["vector_arithmetic_operations"]
         if total_cycles == 0:
             return 0, 0.0, 0.0
         return total_cycles, min(1.0, busy / total_cycles), vector_ops / total_cycles
@@ -124,22 +124,29 @@ class SpeedupBreakdown:
 
 
 def compute_speedup(result: SimulationResult, bank: ReferenceBank) -> SpeedupBreakdown:
-    """Apply the section 4.1 speedup formula to a multithreaded group run."""
+    """Apply the section 4.1 speedup formula to a multithreaded group run.
+
+    Reads the run's columnar job table (parallel program / instruction /
+    completion columns) rather than walking per-record objects.
+    """
     completed_cycles = 0
     partial_cycles = 0
     completed_runs: list[tuple[str, int]] = []
     partial_runs: list[tuple[str, int, int]] = []
-    for record in result.jobs():
-        if record.instructions == 0:
+    table = result.job_table()
+    for program, instructions, completed in zip(
+        table["program"], table["instructions"], table["completed"]
+    ):
+        if instructions == 0:
             continue
-        if record.completed:
-            cycles = bank.full_cycles(record.program)
+        if completed:
+            cycles = bank.full_cycles(program)
             completed_cycles += cycles
-            completed_runs.append((record.program, cycles))
+            completed_runs.append((program, cycles))
         else:
-            cycles = bank.partial_cycles(record.program, record.instructions)
+            cycles = bank.partial_cycles(program, instructions)
             partial_cycles += cycles
-            partial_runs.append((record.program, record.instructions, cycles))
+            partial_runs.append((program, instructions, cycles))
     return SpeedupBreakdown(
         multithreaded_cycles=result.cycles,
         completed_work_cycles=completed_cycles,

@@ -6,13 +6,17 @@ memory transactions (scalar/vector and load/store), and physically separate
 data busses for sending and receiving data to/from main memory."*
 
 Each bus is a simple serially-reusable resource: a transaction reserves a
-contiguous window of cycles, and the bus keeps aggregate busy statistics that
-the experiment harness turns into the memory-port occupation metric.
+contiguous window of cycles.  Reservations land in a flat ``(start, end)``
+integer buffer — part of the columnar statistics pipeline — and the aggregate
+:class:`BusStats` the experiment harness reads (busy cycles, transaction
+count, the memory-port occupation metric) are reduced from it on demand and
+memoized until the next reservation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 
 from repro.errors import SimulationError
 
@@ -35,12 +39,21 @@ class BusStats:
 
 
 class Bus:
-    """A serially-reusable bus that transfers one item per cycle."""
+    """A serially-reusable bus that transfers one item per cycle.
+
+    The cycle-level hot path only appends two integers per reservation; the
+    :attr:`stats` view is computed from the recorded windows when read.
+    """
+
+    __slots__ = ("name", "_free_at", "_windows", "_stats_cache")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._free_at = 0
-        self.stats = BusStats()
+        # interleaved (start, end) pairs; windows never overlap because the
+        # bus serializes, so busy cycles is the plain sum of their lengths
+        self._windows: array = array("q")
+        self._stats_cache: BusStats | None = None
 
     @property
     def free_at(self) -> int:
@@ -58,19 +71,44 @@ class Bus:
             raise SimulationError(f"bus {self.name}: cannot reserve {cycles} cycles")
         if earliest < 0:
             raise SimulationError(f"bus {self.name}: negative start cycle {earliest}")
+        free_at = self._free_at
+        start = earliest if earliest > free_at else free_at
         if cycles == 0:
-            return max(earliest, self._free_at)
-        start = max(earliest, self._free_at)
-        self._free_at = start + cycles
-        self.stats.busy_cycles += cycles
-        self.stats.transactions += 1
-        self.stats.last_busy_cycle = self._free_at - 1
+            return start
+        end = start + cycles
+        self._free_at = end
+        self._windows.extend((start, end))
+        self._stats_cache = None
         return start
+
+    @property
+    def stats(self) -> BusStats:
+        """Aggregate busy statistics, reduced from the recorded windows."""
+        cached = self._stats_cache
+        if cached is None:
+            windows = self._windows
+            cached = BusStats(
+                busy_cycles=sum(windows[1::2]) - sum(windows[0::2]),
+                transactions=len(windows) // 2,
+                last_busy_cycle=self._free_at - 1 if windows else 0,
+            )
+            self._stats_cache = cached
+        return cached
+
+    @property
+    def busy_windows(self) -> list[tuple[int, int]]:
+        """The recorded ``[start, end)`` reservation windows, in order."""
+        windows = self._windows
+        return [
+            (windows[index], windows[index + 1])
+            for index in range(0, len(windows), 2)
+        ]
 
     def reset(self) -> None:
         """Clear reservations and statistics (used between simulation runs)."""
         self._free_at = 0
-        self.stats = BusStats()
+        del self._windows[:]
+        self._stats_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Bus({self.name!r}, free_at={self._free_at}, busy={self.stats.busy_cycles})"

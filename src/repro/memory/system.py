@@ -18,6 +18,7 @@ earliest start cycle into a :class:`~repro.memory.request.MemoryTiming`.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -26,6 +27,16 @@ from repro.memory.bus import Bus
 from repro.memory.request import AccessKind, MemoryRequest, MemoryTiming
 
 __all__ = ["MemorySystem", "MemorySystemStats"]
+
+#: Dense code per access kind, used by the columnar transaction log.
+_KIND_CODE: dict[AccessKind, int] = {kind: code for code, kind in enumerate(AccessKind)}
+_KIND_BY_CODE: tuple[AccessKind, ...] = tuple(AccessKind)
+_LOAD_KINDS = frozenset(
+    {AccessKind.VECTOR_LOAD, AccessKind.VECTOR_GATHER, AccessKind.SCALAR_LOAD}
+)
+#: ``is_load`` per dense kind code (a list index beats enum containment on
+#: the per-transaction hot path).
+_IS_LOAD_BY_CODE: tuple[bool, ...] = tuple(kind in _LOAD_KINDS for kind in _KIND_BY_CODE)
 
 
 @dataclass
@@ -73,7 +84,10 @@ class MemorySystem:
         self.load_data_bus = Bus("load-data")
         self.store_data_bus = Bus("store-data")
         self.bank_model = bank_model
-        self.stats = MemorySystemStats()
+        # columnar transaction log: interleaved (kind code, elements) pairs,
+        # reduced into a MemorySystemStats on demand
+        self._transactions: array = array("q")
+        self._stats_cache: MemorySystemStats | None = None
 
     @property
     def num_ports(self) -> int:
@@ -91,28 +105,84 @@ class MemorySystem:
             return request.elements
         return self.bank_model.delivery_cycles(request)
 
-    def _count(self, request: MemoryRequest) -> None:
-        kind = request.kind
-        if kind is AccessKind.VECTOR_LOAD:
-            self.stats.vector_loads += 1
-            self.stats.elements_loaded += request.elements
-        elif kind is AccessKind.VECTOR_STORE:
-            self.stats.vector_stores += 1
-            self.stats.elements_stored += request.elements
-        elif kind is AccessKind.VECTOR_GATHER:
-            self.stats.gathers += 1
-            self.stats.elements_loaded += request.elements
-        elif kind is AccessKind.VECTOR_SCATTER:
-            self.stats.scatters += 1
-            self.stats.elements_stored += request.elements
-        elif kind is AccessKind.SCALAR_LOAD:
-            self.stats.scalar_loads += 1
-            self.stats.elements_loaded += 1
-        else:
-            self.stats.scalar_stores += 1
-            self.stats.elements_stored += 1
+    @property
+    def stats(self) -> MemorySystemStats:
+        """Aggregate transaction counts, reduced from the columnar log."""
+        cached = self._stats_cache
+        if cached is None:
+            counts = [0] * len(_KIND_CODE)
+            elements_by_kind = [0] * len(_KIND_CODE)
+            log = self._transactions
+            for index in range(0, len(log), 2):
+                code = log[index]
+                counts[code] += 1
+                elements_by_kind[code] += log[index + 1]
+            # scalar transactions always move exactly one element (matching
+            # the per-transaction accounting this reduction replaced)
+            loaded = 0
+            stored = 0
+            for kind, code in _KIND_CODE.items():
+                moved = counts[code] if not kind.is_vector else elements_by_kind[code]
+                if kind in _LOAD_KINDS:
+                    loaded += moved
+                else:
+                    stored += moved
+            cached = MemorySystemStats(
+                vector_loads=counts[_KIND_CODE[AccessKind.VECTOR_LOAD]],
+                vector_stores=counts[_KIND_CODE[AccessKind.VECTOR_STORE]],
+                gathers=counts[_KIND_CODE[AccessKind.VECTOR_GATHER]],
+                scatters=counts[_KIND_CODE[AccessKind.VECTOR_SCATTER]],
+                scalar_loads=counts[_KIND_CODE[AccessKind.SCALAR_LOAD]],
+                scalar_stores=counts[_KIND_CODE[AccessKind.SCALAR_STORE]],
+                elements_loaded=loaded,
+                elements_stored=stored,
+            )
+            self._stats_cache = cached
+        return cached
 
     # ------------------------------------------------------------------ #
+    def schedule_columnar(
+        self, kind_code: int, elements: int, stride: int, earliest: int
+    ) -> tuple[int, int, int]:
+        """Schedule one transaction from primitive values (the hot path).
+
+        Identical timing semantics to :meth:`schedule`, but takes the dense
+        kind code plus element count and stride directly and returns a plain
+        ``(start, first_element, completion)`` tuple — no
+        :class:`~repro.memory.request.MemoryRequest` or
+        :class:`~repro.memory.request.MemoryTiming` is allocated.  The
+        transaction lands as one row in the columnar log.
+        """
+        self._transactions.extend((kind_code, elements))
+        self._stats_cache = None
+        if self.bank_model is None:
+            delivery = elements
+        else:
+            delivery = self.bank_model.delivery_cycles(
+                MemoryRequest(
+                    kind=_KIND_BY_CODE[kind_code], elements=elements, stride=stride
+                )
+            )
+        buses = self.address_buses
+        if len(buses) == 1:
+            bus = buses[0]
+        else:
+            bus = min(buses, key=lambda candidate: max(earliest, candidate.free_at))
+        # one address per element on the shared address bus
+        start = bus.reserve(earliest, elements)
+
+        if _IS_LOAD_BY_CODE[kind_code]:
+            first_datum = start + self.latency + 1
+            completion = first_datum + delivery - 1
+            self.load_data_bus.reserve(first_datum, delivery)
+        else:
+            # Stores stream data out alongside the addresses and never wait
+            # for the write acknowledgement.
+            first_datum = start
+            completion = start + delivery - 1
+            self.store_data_bus.reserve(start, delivery)
+        return start, first_datum, completion
+
     def schedule(self, request: MemoryRequest, earliest: int) -> MemoryTiming:
         """Schedule one memory transaction, reserving the busses it needs.
 
@@ -129,29 +199,12 @@ class MemorySystem:
             Start cycle, address-bus occupancy, first-datum cycle and
             completion cycle of the transaction.
         """
-        self._count(request)
-        delivery = self._delivery_cycles(request)
-        address_cycles = request.address_cycles
-        buses = self.address_buses
-        if len(buses) == 1:
-            bus = buses[0]
-        else:
-            bus = min(buses, key=lambda candidate: max(earliest, candidate.free_at))
-        start = bus.reserve(earliest, address_cycles)
-
-        if request.kind.is_load:
-            first_datum = start + self.latency + 1
-            completion = first_datum + delivery - 1
-            self.load_data_bus.reserve(first_datum, delivery)
-        else:
-            # Stores stream data out alongside the addresses and never wait
-            # for the write acknowledgement.
-            first_datum = start
-            completion = start + delivery - 1
-            self.store_data_bus.reserve(start, delivery)
+        start, first_datum, completion = self.schedule_columnar(
+            _KIND_CODE[request.kind], request.elements, request.stride, earliest
+        )
         return MemoryTiming(
             start=start,
-            address_busy=address_cycles,
+            address_busy=request.address_cycles,
             first_element=first_datum,
             completion=completion,
         )
@@ -180,4 +233,5 @@ class MemorySystem:
         self.store_data_bus.reset()
         if self.bank_model is not None:
             self.bank_model.reset()
-        self.stats = MemorySystemStats()
+        del self._transactions[:]
+        self._stats_cache = None

@@ -1,0 +1,406 @@
+"""Unit and property tests for the columnar event-log statistics pipeline.
+
+Covers the flat-array recording structures (:class:`DispatchLog`,
+:class:`FlatIntervalRecorder`), the one-shot reductions that turn them into
+``SimulationStats``/``ThreadStats``/``JobRecord`` values, and the equality of
+the numpy and pure-Python reduction paths — including a hypothesis round-trip
+property: random event logs reduce to exactly the same statistics through
+both paths, and match a straightforward per-row reference accounting.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eventlog import (
+    DISPATCH_FIELDS,
+    DispatchLog,
+    FlatIntervalRecorder,
+    merge_interval_pairs,
+    numpy_enabled,
+    reduce_dispatch_log,
+    set_numpy_enabled,
+)
+from repro.core.statistics import (
+    FU_STATE_NAMES,
+    IntervalRecorder,
+    JobRecord,
+    SimulationStats,
+    ThreadStats,
+    fu_state_breakdown,
+)
+from repro.errors import SimulationError
+from repro.memory.bus import Bus
+from repro.memory.request import AccessKind, MemoryRequest
+from repro.memory.system import MemorySystem
+
+
+@pytest.fixture
+def fallback_mode():
+    """Force the pure-Python reduction path for the duration of one test."""
+    previous = set_numpy_enabled(False)
+    try:
+        yield
+    finally:
+        set_numpy_enabled(previous)
+
+
+def both_paths(compute):
+    """Evaluate ``compute()`` under the numpy and fallback paths."""
+    with_numpy = compute()
+    previous = set_numpy_enabled(False)
+    try:
+        without_numpy = compute()
+    finally:
+        set_numpy_enabled(previous)
+    return with_numpy, without_numpy
+
+
+# --------------------------------------------------------------------------- #
+# dispatch-log reduction
+# --------------------------------------------------------------------------- #
+#: One synthetic dispatch row: (thread, job ordinal, vector?, vl).
+row_strategy = st.tuples(
+    st.integers(min_value=0, max_value=3),  # thread_id
+    st.integers(min_value=0, max_value=2),  # job_ordinal
+    st.sampled_from(["scalar", "scalar_mem", "varith", "vmem"]),
+    st.integers(min_value=1, max_value=128),  # vl when vector
+)
+
+
+def build_log(rows, num_threads: int = 4, jobs_per_thread: int = 3):
+    """A (DispatchLog, SimulationStats) pair mirroring engine recording."""
+    log = DispatchLog()
+    extend = log.values.extend
+    for thread_id, job_ordinal, kind, vl in rows:
+        if kind == "scalar":
+            extend((thread_id, job_ordinal, 0, 0, 0, 0))
+        elif kind == "scalar_mem":
+            extend((thread_id, job_ordinal, 0, 0, 0, 1))
+        elif kind == "varith":
+            extend((thread_id, job_ordinal, 1, vl, vl, 0))
+        else:  # vector memory
+            extend((thread_id, job_ordinal, 1, vl, 0, vl))
+    threads = []
+    for thread_id in range(num_threads):
+        thread = ThreadStats(thread_id=thread_id)
+        thread.jobs = [
+            JobRecord(program=f"job-{ordinal}", thread_id=thread_id, start_cycle=0)
+            for ordinal in range(jobs_per_thread)
+        ]
+        threads.append(thread)
+    return log, SimulationStats(threads=threads)
+
+
+def reference_accounting(rows, num_threads: int = 4, jobs_per_thread: int = 3):
+    """Per-row object mutation, exactly as the pre-columnar engine did it."""
+    stats = {
+        "instructions": 0,
+        "scalar_instructions": 0,
+        "vector_instructions": 0,
+        "vector_operations": 0,
+        "vector_arithmetic_operations": 0,
+        "memory_transactions": 0,
+        "decode_busy_cycles": 0,
+    }
+    threads = {
+        thread_id: {
+            "instructions": 0,
+            "scalar_instructions": 0,
+            "vector_instructions": 0,
+            "vector_operations": 0,
+            "memory_transactions": 0,
+            "jobs": [0] * jobs_per_thread,
+        }
+        for thread_id in range(num_threads)
+    }
+    for thread_id, job_ordinal, kind, vl in rows:
+        stats["instructions"] += 1
+        stats["decode_busy_cycles"] += 1
+        thread = threads[thread_id]
+        thread["instructions"] += 1
+        thread["jobs"][job_ordinal] += 1
+        if kind in ("varith", "vmem"):
+            stats["vector_instructions"] += 1
+            stats["vector_operations"] += vl
+            thread["vector_instructions"] += 1
+            thread["vector_operations"] += vl
+            if kind == "varith":
+                stats["vector_arithmetic_operations"] += vl
+            else:
+                stats["memory_transactions"] += vl
+                thread["memory_transactions"] += vl
+        else:
+            stats["scalar_instructions"] += 1
+            thread["scalar_instructions"] += 1
+            if kind == "scalar_mem":
+                stats["memory_transactions"] += 1
+                thread["memory_transactions"] += 1
+    return stats, threads
+
+
+def snapshot(stats: SimulationStats):
+    """Comparable snapshot of every reduced counter."""
+    return (
+        {key: value for key, value in stats.counters().items() if key != "cycles"},
+        [
+            (
+                thread.thread_id,
+                thread.instructions,
+                thread.scalar_instructions,
+                thread.vector_instructions,
+                thread.vector_operations,
+                thread.memory_transactions,
+                tuple(record.instructions for record in thread.jobs),
+            )
+            for thread in stats.threads
+        ],
+    )
+
+
+class TestDispatchLogReduction:
+    def test_row_shape(self):
+        log, stats = build_log([(0, 0, "varith", 8), (1, 1, "scalar", 1)])
+        assert len(log) == 2
+        assert log.rows()[0] == (0, 0, 1, 8, 8, 0)
+        assert len(DISPATCH_FIELDS) == 6
+
+    def test_empty_log_zeroes_everything(self):
+        log, stats = build_log([])
+        stats.vector_instructions = 99  # stale garbage the reduction must clear
+        reduce_dispatch_log(log, stats)
+        assert stats.instructions == 0
+        assert stats.vector_instructions == 0
+        assert all(thread.instructions == 0 for thread in stats.threads)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows=st.lists(row_strategy, min_size=0, max_size=120))
+    def test_roundtrip_matches_reference_accounting_on_both_paths(self, rows):
+        expected_stats, expected_threads = reference_accounting(rows)
+
+        def reduce_once():
+            log, stats = build_log(rows)
+            reduce_dispatch_log(log, stats)
+            return snapshot(stats)
+
+        via_numpy, via_fallback = both_paths(reduce_once)
+        assert via_numpy == via_fallback
+        counters, threads = via_numpy
+        for key, value in expected_stats.items():
+            assert counters[key] == value, key
+        for (
+            thread_id,
+            instructions,
+            scalar,
+            vector,
+            operations,
+            transactions,
+            job_counts,
+        ) in threads:
+            expected = expected_threads[thread_id]
+            assert instructions == expected["instructions"]
+            assert scalar == expected["scalar_instructions"]
+            assert vector == expected["vector_instructions"]
+            assert operations == expected["vector_operations"]
+            assert transactions == expected["memory_transactions"]
+            assert list(job_counts) == expected["jobs"]
+
+    def test_paths_agree_outside_the_engine_happy_path(self):
+        """Unknown threads and pre-job rows reduce identically on both paths.
+
+        Rows whose thread is absent from ``stats.threads`` count only
+        globally; rows recorded before any job was fetched (ordinal -1)
+        never land in a job count.
+        """
+
+        def reduce_once():
+            log = DispatchLog()
+            log.values.extend((1, 0, 1, 8, 8, 0))   # thread 1 unknown
+            log.values.extend((0, -1, 0, 0, 0, 1))  # pre-job row
+            thread = ThreadStats(thread_id=0)
+            thread.jobs = [JobRecord(program="j", thread_id=0, start_cycle=0)]
+            stats = SimulationStats(threads=[thread])
+            reduce_dispatch_log(log, stats)
+            return snapshot(stats)
+
+        with_numpy, without_numpy = both_paths(reduce_once)
+        assert with_numpy == without_numpy
+        counters, threads = with_numpy
+        assert counters["instructions"] == 2
+        assert counters["vector_operations"] == 8
+        assert threads[0][1] == 1  # only the known thread's row counted
+        assert threads[0][-1] == (0,)  # the pre-job row hit no job record
+
+    def test_pickle_roundtrip_is_compact_bytes(self):
+        log, _ = build_log([(0, 0, "varith", 16)] * 100)
+        payload = pickle.dumps(log)
+        clone = pickle.loads(payload)
+        assert clone.rows() == log.rows()
+        # 6 int64 per row plus framing — far from 6 pickled Python ints/row
+        assert len(payload) < 100 * 6 * 8 + 200
+
+
+# --------------------------------------------------------------------------- #
+# flat interval recording
+# --------------------------------------------------------------------------- #
+interval_list = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(0, 100)), min_size=0, max_size=60
+)
+
+
+class TestFlatIntervalRecorder:
+    def test_mirrors_fallback_recorder(self):
+        flat = FlatIntervalRecorder("FU1")
+        legacy = IntervalRecorder("FU1")
+        for start, end in ((0, 10), (5, 15), (20, 25), (7, 7)):
+            flat.record(start, end)
+            legacy.record(start, end)
+        assert flat.intervals == legacy.intervals
+        assert flat.merged() == legacy.merged()
+        assert flat.busy_cycles() == legacy.busy_cycles() == 20
+        assert flat.busy_cycles(horizon=12) == legacy.busy_cycles(horizon=12)
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            FlatIntervalRecorder("x").record(10, 5)
+
+    def test_reset_and_memo_invalidation(self):
+        recorder = FlatIntervalRecorder("x")
+        recorder.record(0, 10)
+        assert recorder.merged() == [(0, 10)]
+        recorder.record(20, 30)  # must invalidate the memoized merge
+        assert recorder.merged() == [(0, 10), (20, 30)]
+        recorder.drop_merge_memo()  # keeps intervals, drops only the memo
+        assert recorder.merged() == [(0, 10), (20, 30)]
+        recorder.reset()
+        assert recorder.merged() == []
+        assert recorder.busy_cycles() == 0
+
+    def test_pickle_ships_flat_buffer(self):
+        recorder = FlatIntervalRecorder("LD")
+        for index in range(50):
+            recorder.record(index * 10, index * 10 + 5)
+        clone = pickle.loads(pickle.dumps(recorder))
+        assert clone.name == "LD"
+        assert clone.intervals == recorder.intervals
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        spans=interval_list,
+        horizon=st.one_of(st.none(), st.integers(min_value=0, max_value=600)),
+    )
+    def test_merge_identical_across_paths_and_recorders(self, spans, horizon):
+        flat = FlatIntervalRecorder("u")
+        legacy = IntervalRecorder("u")
+        for start, length in spans:
+            flat.record(start, start + length)
+            legacy.record(start, start + length)
+
+        with_numpy, without_numpy = both_paths(lambda: flat.merged(horizon))
+        assert with_numpy == without_numpy == legacy.merged(horizon)
+        assert flat.busy_cycles(horizon) == legacy.busy_cycles(horizon)
+
+    def test_merge_interval_pairs_empty(self):
+        from array import array
+
+        assert merge_interval_pairs(array("q"), None) == []
+
+
+# --------------------------------------------------------------------------- #
+# the figure-4 sweep: numpy vs pure-Python
+# --------------------------------------------------------------------------- #
+class TestBreakdownPaths:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(0, 2), st.integers(0, 300), st.integers(1, 80)
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+        total=st.integers(min_value=1, max_value=500),
+    )
+    def test_sweep_identical_across_paths(self, data, total):
+        def breakdown_once():
+            recorders = [
+                FlatIntervalRecorder("FU2"),
+                FlatIntervalRecorder("FU1"),
+                FlatIntervalRecorder("LD"),
+            ]
+            for unit, start, length in data:
+                recorders[unit].record(start, start + length)
+            return fu_state_breakdown(*recorders, total)
+
+        with_numpy, without_numpy = both_paths(breakdown_once)
+        assert with_numpy == without_numpy
+        assert sum(with_numpy.values()) == total
+        assert all(value >= 0 for value in with_numpy.values())
+        assert list(with_numpy) == list(FU_STATE_NAMES)
+
+
+# --------------------------------------------------------------------------- #
+# memory-layer columnar recording
+# --------------------------------------------------------------------------- #
+class TestMemoryLayerColumnar:
+    def test_bus_stats_reduced_from_windows(self):
+        bus = Bus("address")
+        assert bus.stats.busy_cycles == 0
+        bus.reserve(0, 10)
+        bus.reserve(5, 5)
+        assert bus.busy_windows == [(0, 10), (10, 15)]
+        stats = bus.stats
+        assert stats.busy_cycles == 15
+        assert stats.transactions == 2
+        assert stats.last_busy_cycle == 14
+        bus.reset()
+        assert bus.stats.busy_cycles == 0
+
+    def test_memory_stats_reduced_from_transaction_log(self):
+        memory = MemorySystem(latency=10)
+        memory.schedule(MemoryRequest(AccessKind.VECTOR_LOAD, elements=8), earliest=0)
+        memory.schedule(MemoryRequest(AccessKind.VECTOR_STORE, elements=4), earliest=0)
+        memory.schedule(MemoryRequest(AccessKind.SCALAR_LOAD, elements=1), earliest=0)
+        stats = memory.stats
+        assert stats.vector_loads == 1
+        assert stats.vector_stores == 1
+        assert stats.scalar_loads == 1
+        assert stats.elements_loaded == 9
+        assert stats.elements_stored == 4
+        assert stats.total_transactions == 3
+        memory.reset()
+        assert memory.stats.total_transactions == 0
+
+    def test_schedule_columnar_matches_schedule(self):
+        from repro.memory.system import _KIND_CODE
+
+        plain = MemorySystem(latency=30)
+        columnar = MemorySystem(latency=30)
+        request = MemoryRequest(AccessKind.VECTOR_LOAD, elements=16, stride=2)
+        timing = plain.schedule(request, earliest=5)
+        fast = columnar.schedule_columnar(
+            _KIND_CODE[AccessKind.VECTOR_LOAD], 16, 2, 5
+        )
+        assert fast == (timing.start, timing.first_element, timing.completion)
+        assert plain.stats == columnar.stats
+        assert plain.address_port_busy_cycles == columnar.address_port_busy_cycles
+
+
+# --------------------------------------------------------------------------- #
+# environment plumbing
+# --------------------------------------------------------------------------- #
+class TestNumpyGate:
+    def test_toggle_roundtrip(self):
+        initial = numpy_enabled()
+        previous = set_numpy_enabled(False)
+        assert previous == initial
+        assert not numpy_enabled()
+        set_numpy_enabled(previous)
+        assert numpy_enabled() == initial
+
+    def test_fallback_fixture(self, fallback_mode):
+        assert not numpy_enabled()
