@@ -18,8 +18,11 @@ Usage::
 With ``--check-against`` the freshly measured numbers are compared entry by
 entry against a previously committed baseline and the process exits non-zero
 when any single-run throughput — or the stats-finalize reduction rate of the
-columnar statistics pipeline — dropped by more than ``--max-regression``
-(default 30%).  Absolute instrs/sec depend on the host, so every export also
+columnar statistics pipeline, or the scoreboard-hazard dispatch rate —
+dropped by more than ``--max-regression`` (default 30%).  Baselines are only
+written from a clean git tree (``--allow-dirty`` overrides, marking the
+recorded revision) and every entry records which scoreboard backend measured
+it, so the recorded ``git_rev`` always describes the measured code.  Absolute instrs/sec depend on the host, so every export also
 records a *calibration score* (ops/sec of a fixed pure-Python workload) and
 the regression gate compares throughput **normalized by that score**: a
 slower CI runner lowers both numbers together and only genuine simulator
@@ -66,6 +69,25 @@ def _git_rev() -> str:
         return out.stdout.strip()
     except (OSError, subprocess.CalledProcessError):
         return "unknown"
+
+
+def _git_tree_dirty() -> bool:
+    """Whether the working tree differs from HEAD (untracked files included).
+
+    A baseline measured on a dirty tree records a ``git_rev`` that does not
+    describe the code that produced the numbers — the stale-rev drift this
+    harness used to allow.  Writing one now requires ``--allow-dirty`` and
+    marks the revision with a ``-dirty`` suffix.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        )
+        return bool(out.stdout.strip())
+    except (OSError, subprocess.CalledProcessError):
+        return False
 
 
 def _time_run(fn, repeats: int) -> float:
@@ -227,6 +249,84 @@ def measure_stats_finalize(repeats: int) -> list[dict]:
     ]
 
 
+#: Dispatch-equivalents per repeat of the scoreboard-hazard microbenchmark.
+SCOREBOARD_HAZARD_DISPATCHES = 40_000
+
+
+def measure_scoreboard_hazard(repeats: int) -> list[dict]:
+    """Dispatches/sec through the scoreboard hazard engine alone.
+
+    Replays a fixed instruction mix (vector arithmetic, loads, stores,
+    reductions, scalar ops spread over all four register banks) against one
+    scoreboard, performing per dispatched instruction exactly what the
+    dispatch layer does: one ``earliest_dispatch`` probe, a ``chain_start``
+    for vector consumers, a ``record_read`` per source and a
+    ``record_write`` for the destination.  The entry's ``model`` field
+    records which backend ran (``columnar`` or ``object``), so the
+    regression gate only ever compares like against like.
+    """
+    from repro.core.scoreboard import create_scoreboard, scoreboard_backend_name
+    from repro.isa.builder import (
+        scalar_load,
+        scalar_op,
+        vadd,
+        vload,
+        vmul,
+        vreduce,
+        vstore,
+    )
+    from repro.isa.opcodes import Opcode
+    from repro.isa.registers import A, S, V
+
+    mix = []
+    for bank in range(4):
+        low, high = 2 * bank, 2 * bank + 1
+        vl = 16 + 28 * bank
+        mix.append(vload(V(low), vl=vl, address=0x1000, stride=1 + bank))
+        mix.append(vadd(V(high), V(low), V((low + 2) % 8), vl=vl))
+        mix.append(vmul(V((low + 4) % 8), V(high), V(low), vl=vl))
+        mix.append(vstore(V(high), A(bank), vl=vl, address=0x2000))
+        mix.append(vreduce(S(bank), V(high), vl=vl))
+        mix.append(scalar_op(Opcode.ADD_S, S(bank + 4), S(bank), A(bank)))
+        mix.append(scalar_load(A(bank + 4), address=0x100 * bank))
+    rounds = SCOREBOARD_HAZARD_DISPATCHES // len(mix)
+    dispatches = rounds * len(mix)
+
+    def spin() -> None:
+        board = create_scoreboard()
+        now = 0
+        for _ in range(rounds):
+            for instruction in mix:
+                earliest = board.earliest_dispatch(instruction, now)
+                if earliest < now:
+                    earliest = now
+                if instruction.vector_src_keys:
+                    board.chain_start(instruction, earliest + 1)
+                read_end = earliest + instruction.element_count
+                for source in instruction.srcs:
+                    board.record_read(source, earliest, read_end)
+                if instruction.dest is not None:
+                    board.record_write(
+                        instruction.dest,
+                        first_element_at=earliest + 5,
+                        ready_at=read_end + 5,
+                        chainable=not instruction.is_load,
+                    )
+                now = earliest + 1
+
+    seconds = _time_run(spin, repeats)
+    return [
+        {
+            "benchmark": "scoreboard_hazard",
+            "model": scoreboard_backend_name(),
+            "workload": f"mix@{dispatches}",
+            "instructions": dispatches,
+            "seconds": round(seconds, 6),
+            "instrs_per_sec": round(dispatches / seconds, 1),
+        }
+    ]
+
+
 def measure_batch_scaling(repeats: int) -> list[dict]:
     """Wall time of the fixed request list under 1, 2 and 4 worker processes."""
     suite = build_suite(scale=BATCH_SCALE)
@@ -257,26 +357,41 @@ def measure_batch_scaling(repeats: int) -> list[dict]:
     return entries
 
 
-def collect(repeats: int) -> dict:
+def collect(repeats: int, *, dirty: bool = False) -> dict:
     """Run the full throughput suite and assemble the export document."""
+    from repro.core.scoreboard import scoreboard_backend_name
+
+    entries = (
+        measure_single_runs(repeats)
+        + measure_stats_finalize(repeats)
+        + measure_scoreboard_hazard(repeats)
+        + measure_batch_scaling(repeats)
+    )
+    # every entry records which scoreboard path produced it, so a baseline
+    # measured with the object fallback can never silently gate (or excuse)
+    # the columnar numbers
+    backend = scoreboard_backend_name()
+    for entry in entries:
+        entry.setdefault("scoreboard", backend)
     return {
         "schema_version": 1,
-        "git_rev": _git_rev(),
+        "git_rev": _git_rev() + ("-dirty" if dirty else ""),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "measured_at_unix": int(time.time()),
         "calibration_ops_per_sec": _calibration_score(),
-        "entries": (
-            measure_single_runs(repeats)
-            + measure_stats_finalize(repeats)
-            + measure_batch_scaling(repeats)
-        ),
+        "entries": entries,
     }
 
 
 # --------------------------------------------------------------------------- #
 # regression gate
 # --------------------------------------------------------------------------- #
+#: Benchmarks compared by the regression gate (batch-scaling rows measure
+#: process-pool behaviour dominated by CI core counts; record only).
+GATED_BENCHMARKS = ("single_run_throughput", "stats_finalize", "scoreboard_hazard")
+
+
 def _entry_key(entry: dict) -> tuple:
     return (entry["benchmark"], entry["model"], entry["workload"], entry.get("jobs"))
 
@@ -294,12 +409,34 @@ def check_regression(current: dict, baseline: dict, max_regression: float) -> li
     baseline_by_key = {_entry_key(entry): entry for entry in baseline["entries"]}
     failures = []
     for entry in current["entries"]:
-        if entry["benchmark"] not in ("single_run_throughput", "stats_finalize"):
-            # batch-scaling rows measure process-pool behaviour, which is
-            # dominated by core count on shared CI runners; record only.
+        if entry["benchmark"] not in GATED_BENCHMARKS:
             continue
         reference = baseline_by_key.get(_entry_key(entry))
         if reference is None:
+            # a gated entry with no baseline counterpart must be loud, not a
+            # silent pass — otherwise key drift turns the gate into a no-op
+            print(
+                f"warning: no baseline entry for {_entry_key(entry)}; not gated",
+                file=sys.stderr,
+            )
+            continue
+        current_backend = entry.get("scoreboard")
+        baseline_backend = reference.get("scoreboard")
+        if (
+            current_backend is not None
+            and baseline_backend is not None
+            and current_backend != baseline_backend
+        ):
+            # measured on different scoreboard backends (e.g. the forced
+            # object-fallback leg against a columnar baseline): a throughput
+            # gap there is the backends' difference, not a regression.
+            # Baselines predating the flag are still gated (old == slower
+            # object-era numbers, so the comparison only errs lenient).
+            print(
+                f"note: skipping {_entry_key(entry)} — baseline measured on "
+                f"the {baseline_backend} scoreboard, current on {current_backend}",
+                file=sys.stderr,
+            )
             continue
         old = reference["instrs_per_sec"]
         new = entry["instrs_per_sec"]
@@ -355,9 +492,28 @@ def main(argv: list[str] | None = None) -> int:
         default=0.30,
         help="maximum tolerated single-run throughput drop (fraction, default 0.30)",
     )
+    parser.add_argument(
+        "--allow-dirty",
+        action="store_true",
+        help=(
+            "write a baseline even when the git working tree is dirty; the "
+            "recorded revision is suffixed with '-dirty'"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    document = collect(args.repeats)
+    dirty = _git_tree_dirty()
+    if dirty and not args.allow_dirty:
+        print(
+            "error: refusing to write a throughput baseline from a dirty "
+            "working tree — the recorded git_rev would not describe the "
+            "measured code. Commit (or stash) first, or pass --allow-dirty "
+            "to record the revision with a '-dirty' suffix.",
+            file=sys.stderr,
+        )
+        return 2
+
+    document = collect(args.repeats, dirty=dirty)
     print(render_table(document))
 
     failures: list[str] = []

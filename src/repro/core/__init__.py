@@ -25,7 +25,15 @@ from repro.core.scheduler import (
     create_scheduler,
     scheduler_names,
 )
-from repro.core.scoreboard import RegisterState, Scoreboard
+from repro.core.scoreboard import (
+    ColumnarScoreboard,
+    RegisterState,
+    Scoreboard,
+    columnar_scoreboard_enabled,
+    create_scoreboard,
+    scoreboard_backend_name,
+    set_columnar_scoreboard_enabled,
+)
 from repro.core.statistics import (
     FU_STATE_NAMES,
     IntervalRecorder,
@@ -43,6 +51,7 @@ from repro.core.suppliers import (
 )
 
 __all__ = [
+    "ColumnarScoreboard",
     "DISPATCH_FIELDS",
     "DispatchLog",
     "DispatchModel",
@@ -76,11 +85,15 @@ __all__ = [
     "UnfairBlockingScheduler",
     "VectorUnitPool",
     "as_job",
+    "columnar_scoreboard_enabled",
     "create_scheduler",
+    "create_scoreboard",
     "fu_state_breakdown",
     "ideal_execution_time",
     "numpy_enabled",
     "reduce_dispatch_log",
     "scheduler_names",
+    "scoreboard_backend_name",
+    "set_columnar_scoreboard_enabled",
     "simulate_program",
 ]

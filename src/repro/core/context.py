@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
-from repro.core.scoreboard import Scoreboard
+from repro.core.scoreboard import create_scoreboard
 from repro.core.statistics import JobRecord, ThreadStats
 from repro.core.suppliers import Job, JobSupplier
 from repro.isa.instruction import Instruction
@@ -33,7 +33,9 @@ class HardwareContext:
     ) -> None:
         self.thread_id = thread_id
         self.supplier = supplier
-        self.scoreboard = Scoreboard(
+        # Columnar hazard tables by default; the object fallback when the
+        # backend switch (REPRO_OBJECT_SCOREBOARD / runtime toggle) says so.
+        self.scoreboard = create_scoreboard(
             model_bank_ports=model_bank_ports, allow_chaining=allow_chaining
         )
         self.stats = ThreadStats(thread_id=thread_id)

@@ -208,10 +208,12 @@ class DispatchModel:
         self, context: HardwareContext, instruction: Instruction, now: int
     ) -> int:
         ready_at = now + self._scalar_latency(instruction.latency_class)
+        scoreboard = context.scoreboard
+        record_read = scoreboard.record_read
         for source in instruction.srcs:
-            context.scoreboard.record_read(source, now, now + 1)
+            record_read(source, now, now + 1)
         if instruction.dest is not None:
-            context.scoreboard.record_write(
+            scoreboard.record_write(
                 instruction.dest,
                 first_element_at=ready_at,
                 ready_at=ready_at,
@@ -226,11 +228,12 @@ class DispatchModel:
         start, _first, completion = self.memory.schedule_columnar(
             _MEMORY_CODE_BY_CLASS[instruction.op_class], 1, 1, now + 1
         )
+        scoreboard = context.scoreboard
         for source in instruction.srcs:
-            context.scoreboard.record_read(source, now, start + 1)
+            scoreboard.record_read(source, now, start + 1)
         if instruction.dest is not None:  # scalar load
             ready_at = completion + 1
-            context.scoreboard.record_write(
+            scoreboard.record_write(
                 instruction.dest,
                 first_element_at=ready_at,
                 ready_at=ready_at,
@@ -256,7 +259,8 @@ class DispatchModel:
             )
         latency = config.latencies.vector_latency(instruction.latency_class)
         read_start = now + config.vector_startup
-        element_start = context.scoreboard.chain_start(instruction, read_start)
+        scoreboard = context.scoreboard
+        element_start = scoreboard.chain_start(instruction, read_start)
         first_result = (
             element_start
             + config.read_crossbar_latency
@@ -267,13 +271,14 @@ class DispatchModel:
         read_end = element_start + vl
         unit.reserve(now, read_end, elements=vl, record_until=completion)
 
+        record_read = scoreboard.record_read
         for source in instruction.vector_sources():
-            context.scoreboard.record_read(source, now, read_end)
+            record_read(source, now, read_end)
         for source in instruction.scalar_sources():
-            context.scoreboard.record_read(source, now, now + 1)
+            record_read(source, now, now + 1)
         if instruction.dest is not None:
             if instruction.dest.is_vector:
-                context.scoreboard.record_write(
+                scoreboard.record_write(
                     instruction.dest,
                     first_element_at=first_result,
                     ready_at=completion + 1,
@@ -281,7 +286,7 @@ class DispatchModel:
                 )
             else:
                 # reductions deposit a scalar result once all elements are done
-                context.scoreboard.record_write(
+                scoreboard.record_write(
                     instruction.dest,
                     first_element_at=completion + 1,
                     ready_at=completion + 1,
@@ -305,12 +310,13 @@ class DispatchModel:
         unit = unit_choice.unit
         op_class = instruction.op_class
         address_earliest = now + 1 + config.vector_startup
+        scoreboard = context.scoreboard
         if instruction.vector_sources():
             # stores read their data register (and gathers their index vector)
             # through the read crossbar; chaining from a functional unit is
             # allowed, so the transfer starts at the producer's element rate.
             address_earliest = (
-                context.scoreboard.chain_start(instruction, address_earliest)
+                scoreboard.chain_start(instruction, address_earliest)
                 + config.read_crossbar_latency
             )
         start, first_element, completion = self.memory.schedule_columnar(
@@ -324,15 +330,16 @@ class DispatchModel:
             record_until = completion + 1
         unit.reserve(now, streaming_end, elements=vl, record_until=record_until)
 
+        record_read = scoreboard.record_read
         for source in instruction.vector_sources():
-            context.scoreboard.record_read(source, now, streaming_end)
+            record_read(source, now, streaming_end)
         for source in instruction.scalar_sources():
-            context.scoreboard.record_read(source, now, now + 1)
+            record_read(source, now, now + 1)
         if instruction.dest is not None:
             # vector loads/gathers are NOT chainable into functional units on
             # the modeled machine: consumers wait for the full completion.
             ready_at = completion + config.write_crossbar_latency + 1
-            context.scoreboard.record_write(
+            scoreboard.record_write(
                 instruction.dest,
                 first_element_at=first_element + config.write_crossbar_latency,
                 ready_at=ready_at,

@@ -131,6 +131,7 @@ class SimulationEngine:
         execute = dispatch_model.execute
         stats = self.stats
         select = self.scheduler.select
+        units = self.vector_units
         active: HardwareContext | None = None
         while self.cycle < max_cycles:
             # Stop conditions are probed at the top of every decode slot, in
@@ -148,7 +149,22 @@ class SimulationEngine:
                 # this context ran out of work; pick another without losing a cycle
                 active = None
                 continue
-            if earliest_issue(active, head, cycle) <= cycle:
+            # Inlined ready-time cache probe (the scoreboard/unit-pool version
+            # counters say whether the cached earliest-issue cycle is still
+            # exact): the blocked-window scans warm the cache for every
+            # context, so the common follow-up probe skips the call into the
+            # dispatch layer entirely.
+            cached = active.issue_cache
+            if (
+                cached is not None
+                and cached[0] is head
+                and cached[2] == active.scoreboard.version
+                and cached[3] == units.version
+            ):
+                can_issue = cached[1] <= cycle
+            else:
+                can_issue = earliest_issue(active, head, cycle) <= cycle
+            if can_issue:
                 execute(active, head, cycle)
                 active.consume(head)
                 stats.instructions += 1

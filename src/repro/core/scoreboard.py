@@ -16,21 +16,49 @@ registers shares two read ports and one write port (section 3).  The Convex
 compiler schedules code to avoid these conflicts; the scoreboard checks them
 anyway and stalls dispatch when a port is oversubscribed, which penalizes
 register allocations the real compiler would not produce.
+
+Two interchangeable implementations share this contract:
+
+* :class:`ColumnarScoreboard` (the default) keeps every hazard quantity in a
+  flat int list indexed by the dense ``Register.key`` — ``earliest_dispatch``
+  / ``chain_start`` / ``record_read`` / ``record_write`` are array reads plus
+  int compares, with no dict lookups and no per-source allocation;
+* :class:`Scoreboard` is the original object-graph implementation
+  (``RegisterState`` per register, ``_BankPorts`` per bank), kept as the
+  fallback and as the structure the frozen seed oracle mirrors.
+
+``REPRO_OBJECT_SCOREBOARD=1`` forces the object implementation (one CI leg
+runs the tier-1 suite that way, mirroring the no-numpy statistics leg);
+tests flip the backend at runtime with :func:`set_columnar_scoreboard_enabled`.
+Both implementations assume the engine's monotonic clock: ``now`` never
+decreases across successive calls on one scoreboard.  The property suite in
+``tests/test_core_scoreboard_columnar.py`` asserts call-by-call agreement and
+the golden-trace corpus guards whole-run dispatch sequences on both backends.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 
 from repro.isa.instruction import Instruction
 from repro.isa.registers import (
     NUM_VECTOR_BANKS,
     READ_PORTS_PER_BANK,
+    TOTAL_REGISTER_KEYS,
     Register,
     RegisterClass,
 )
 
-__all__ = ["RegisterState", "Scoreboard"]
+__all__ = [
+    "ColumnarScoreboard",
+    "RegisterState",
+    "Scoreboard",
+    "columnar_scoreboard_enabled",
+    "create_scoreboard",
+    "scoreboard_backend_name",
+    "set_columnar_scoreboard_enabled",
+]
 
 
 @dataclass
@@ -73,7 +101,7 @@ class _BankPorts:
 
 
 class Scoreboard:
-    """Register-hazard and bank-port tracking for one hardware context.
+    """Object-graph register-hazard and bank-port tracking (fallback path).
 
     The scoreboard carries a monotonically increasing :attr:`version` bumped
     by every mutation (register read/write records, resets).  The dispatch
@@ -200,3 +228,255 @@ class Scoreboard:
         state.write_busy_until = ready_at
         if self._model_bank_ports and register.is_vector:
             self._banks[register.bank].add_writer(ready_at)
+
+
+# --------------------------------------------------------------------------- #
+# the columnar implementation
+# --------------------------------------------------------------------------- #
+class _ColumnarRegisterView:
+    """Read-only :class:`RegisterState`-shaped view over the hazard columns."""
+
+    __slots__ = ("_board", "_key")
+
+    def __init__(self, board: "ColumnarScoreboard", key: int) -> None:
+        self._board = board
+        self._key = key
+
+    @property
+    def ready_at(self) -> int:
+        return self._board._ready_at[self._key]
+
+    @property
+    def first_element_at(self) -> int:
+        return self._board._first_at[self._key]
+
+    @property
+    def chainable(self) -> bool:
+        return bool(self._board._chainable[self._key])
+
+    @property
+    def write_busy_until(self) -> int:
+        return self._board._write_busy[self._key]
+
+    @property
+    def read_busy_until(self) -> int:
+        return self._board._read_busy[self._key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"_ColumnarRegisterView(key={self._key}, ready_at={self.ready_at}, "
+            f"first_element_at={self.first_element_at}, chainable={self.chainable}, "
+            f"write_busy_until={self.write_busy_until}, "
+            f"read_busy_until={self.read_busy_until})"
+        )
+
+
+class ColumnarScoreboard:
+    """Columnar hazard tables: flat int lists indexed by ``Register.key``.
+
+    Same observable behaviour as :class:`Scoreboard` under the engine's
+    monotonic clock, with every per-register quantity stored in a dense
+    column (``ready_at`` / ``first_element_at`` / ``chainable`` /
+    ``write_busy_until`` / ``read_busy_until``) and the bank ports as flat
+    slot arrays:
+
+    * ``_bank_read_slots`` keeps, per bank, the ``READ_PORTS_PER_BANK``
+      largest read-end times sorted ascending.  With in-order dispatch and a
+      non-decreasing ``now``, the earliest cycle a new reader can claim a
+      port is exactly ``max(now, smallest kept slot)``: an end time evicted
+      from the slots is dominated by ``READ_PORTS_PER_BANK`` larger ones and
+      can never become the port-limiting reader afterwards.  This replaces
+      the fallback's prune-filter-sort of a Python list per probe;
+    * ``_bank_write_end`` is the single write port's busy horizon per bank.
+
+    The hazard checks consume the instruction's precomputed dense plan
+    (``vector_src_keys`` / ``scalar_src_keys`` / ``dest_key`` / bank tuples),
+    so the hot path touches no ``Register`` objects and allocates nothing.
+    """
+
+    __slots__ = (
+        "version",
+        "_model_bank_ports",
+        "_allow_chaining",
+        "_ready_at",
+        "_first_at",
+        "_chainable",
+        "_write_busy",
+        "_read_busy",
+        "_bank_read_slots",
+        "_bank_write_end",
+    )
+
+    def __init__(self, *, model_bank_ports: bool = True, allow_chaining: bool = True) -> None:
+        self._model_bank_ports = model_bank_ports
+        self._allow_chaining = allow_chaining
+        #: Mutation counter consumed by the dispatch-layer ready-time cache.
+        self.version = 0
+        self._clear_columns()
+
+    def _clear_columns(self) -> None:
+        keys = TOTAL_REGISTER_KEYS
+        self._ready_at = [0] * keys
+        self._first_at = [0] * keys
+        self._chainable = [1] * keys
+        self._write_busy = [0] * keys
+        self._read_busy = [0] * keys
+        self._bank_read_slots = [0] * (NUM_VECTOR_BANKS * READ_PORTS_PER_BANK)
+        self._bank_write_end = [0] * NUM_VECTOR_BANKS
+
+    # ------------------------------------------------------------------ #
+    def state(self, register: Register) -> _ColumnarRegisterView:
+        """A live read-only view of one register's hazard columns."""
+        return _ColumnarRegisterView(self, register.key)
+
+    def reset(self) -> None:
+        """Clear all hazard state (used when a context starts a new program)."""
+        self._clear_columns()
+        self.version += 1
+
+    # ------------------------------------------------------------------ #
+    # dispatch-time constraint computation
+    # ------------------------------------------------------------------ #
+    def earliest_dispatch(self, instruction: Instruction, now: int) -> int:
+        """Earliest cycle at which register hazards allow dispatching."""
+        earliest = now
+        ready_at = self._ready_at
+        for key in instruction.scalar_src_keys:
+            ready = ready_at[key]
+            if ready > earliest:
+                earliest = ready
+        vector_keys = instruction.vector_src_keys
+        if vector_keys:
+            chainable = self._chainable
+            for key in vector_keys:
+                if not chainable[key]:
+                    ready = ready_at[key]
+                    if ready > earliest:
+                        earliest = ready
+        dest_key = instruction.dest_key
+        if dest_key >= 0:
+            busy_until = self._write_busy[dest_key]
+            read_busy = self._read_busy[dest_key]
+            if read_busy > busy_until:
+                busy_until = read_busy
+            if busy_until > earliest:
+                earliest = busy_until
+        if self._model_bank_ports:
+            if vector_keys:
+                slots = self._bank_read_slots
+                for bank in instruction.vector_src_banks:
+                    # smallest kept slot == the port-limiting read end
+                    slot = slots[bank * READ_PORTS_PER_BANK]
+                    if slot > earliest:
+                        earliest = slot
+            dest_bank = instruction.dest_bank
+            if dest_bank >= 0:
+                slot = self._bank_write_end[dest_bank]
+                if slot > earliest:
+                    earliest = slot
+        return earliest
+
+    # ------------------------------------------------------------------ #
+    # element-availability helpers used by the execution timing model
+    # ------------------------------------------------------------------ #
+    def chain_start(self, instruction: Instruction, candidate_start: int) -> int:
+        """First cycle at which the instruction can consume its first element."""
+        start = candidate_start
+        chainable = self._chainable
+        ready_at = self._ready_at
+        first_at = self._first_at
+        for key in instruction.vector_src_keys:
+            if chainable[key] and ready_at[key] > candidate_start:
+                first = first_at[key]
+                if first > start:
+                    start = first
+        return start
+
+    # ------------------------------------------------------------------ #
+    # post-dispatch bookkeeping
+    # ------------------------------------------------------------------ #
+    def record_read(self, register: Register, now: int, read_end: int) -> None:
+        """Mark a register as being read by an in-flight instruction."""
+        self.version += 1
+        key = register.key
+        read_busy = self._read_busy
+        if read_end > read_busy[key]:
+            read_busy[key] = read_end
+        if self._model_bank_ports and register.is_vector:
+            slots = self._bank_read_slots
+            index = register.bank * READ_PORTS_PER_BANK
+            if read_end > slots[index]:
+                # shift the smaller kept ends down, keep the bank ascending
+                top = index + READ_PORTS_PER_BANK - 1
+                while index < top and read_end > slots[index + 1]:
+                    slots[index] = slots[index + 1]
+                    index += 1
+                slots[index] = read_end
+
+    def record_write(
+        self,
+        register: Register,
+        *,
+        first_element_at: int,
+        ready_at: int,
+        chainable: bool,
+    ) -> None:
+        """Mark a register as being produced by an in-flight instruction."""
+        self.version += 1
+        key = register.key
+        self._first_at[key] = first_element_at
+        self._ready_at[key] = ready_at
+        self._chainable[key] = 1 if (chainable and self._allow_chaining) else 0
+        self._write_busy[key] = ready_at
+        if self._model_bank_ports and register.is_vector:
+            bank = register.bank
+            write_ends = self._bank_write_end
+            if ready_at > write_ends[bank]:
+                write_ends[bank] = ready_at
+
+    # -- pickling: __slots__ classes need an explicit state protocol ------- #
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for slot, value in zip(self.__slots__, state):
+            setattr(self, slot, value)
+
+
+# --------------------------------------------------------------------------- #
+# backend selection
+# --------------------------------------------------------------------------- #
+#: ``REPRO_OBJECT_SCOREBOARD=1`` forces the object-graph fallback scoreboard
+#: (one CI matrix leg runs the tier-1 suite that way); tests flip it at
+#: runtime through :func:`set_columnar_scoreboard_enabled`.
+_columnar_enabled = not os.environ.get("REPRO_OBJECT_SCOREBOARD")
+
+
+def columnar_scoreboard_enabled() -> bool:
+    """Whether new scoreboards use the columnar hazard tables."""
+    return _columnar_enabled
+
+
+def set_columnar_scoreboard_enabled(enabled: bool) -> bool:
+    """Switch the scoreboard backend at runtime; returns the previous setting.
+
+    Only affects scoreboards created afterwards.  Used by the test suite to
+    exercise the object fallback; production code never calls it.
+    """
+    global _columnar_enabled
+    previous = _columnar_enabled
+    _columnar_enabled = bool(enabled)
+    return previous
+
+
+def scoreboard_backend_name() -> str:
+    """Name of the active backend (``columnar`` or ``object``)."""
+    return "columnar" if _columnar_enabled else "object"
+
+
+def create_scoreboard(
+    *, model_bank_ports: bool = True, allow_chaining: bool = True
+) -> "ColumnarScoreboard | Scoreboard":
+    """Create a scoreboard on the active backend (hardware contexts use this)."""
+    cls = ColumnarScoreboard if _columnar_enabled else Scoreboard
+    return cls(model_bank_ports=model_bank_ports, allow_chaining=allow_chaining)

@@ -57,7 +57,9 @@ class Instruction:
     ``is_memory``, ``is_load``, ``is_store``, ``is_branch``, ``is_scalar``,
     ``uses_stride_register``, ``element_count``, ``memory_transactions``,
     ``vector_operations``, ``latency_class``, ``fu2_only``) are precomputed at
-    construction and read as plain fields.
+    construction and read as plain fields, as are the dense hazard-plan
+    tuples consumed by the columnar scoreboard (``vector_src_keys``,
+    ``vector_src_banks``, ``scalar_src_keys``, ``dest_key``, ``dest_bank``).
     """
 
     opcode: Opcode
@@ -118,15 +120,22 @@ class Instruction:
             "vector_operations",
             self.vl if (traits.is_vector_arithmetic and self.vl is not None) else 0,
         )
+        vector_srcs = tuple(r for r in self.srcs if r.cls is RegisterClass.VECTOR)
+        scalar_srcs = tuple(r for r in self.srcs if r.cls is not RegisterClass.VECTOR)
+        write(self, "_vector_srcs", vector_srcs)
+        write(self, "_scalar_srcs", scalar_srcs)
+        # Dense hazard plan consumed by the columnar scoreboard: operand
+        # register keys and vector banks as plain int tuples, so a hazard
+        # check never touches a Register object.
+        write(self, "vector_src_keys", tuple(r.key for r in vector_srcs))
+        write(self, "vector_src_banks", tuple(r.bank for r in vector_srcs))
+        write(self, "scalar_src_keys", tuple(r.key for r in scalar_srcs))
+        dest = self.dest
+        write(self, "dest_key", -1 if dest is None else dest.key)
         write(
             self,
-            "_vector_srcs",
-            tuple(r for r in self.srcs if r.cls is RegisterClass.VECTOR),
-        )
-        write(
-            self,
-            "_scalar_srcs",
-            tuple(r for r in self.srcs if r.cls is not RegisterClass.VECTOR),
+            "dest_bank",
+            dest.bank if (dest is not None and dest.is_vector) else -1,
         )
 
     # ------------------------------------------------------------------ #

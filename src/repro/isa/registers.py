@@ -72,6 +72,13 @@ class RegisterClass(enum.Enum):
         return 1
 
 
+#: Size of the dense ``Register.key`` space of one hardware context (A + S +
+#: V files plus the VL/VS control registers).  The columnar scoreboard sizes
+#: its hazard columns with this constant so every key indexes directly.
+TOTAL_REGISTER_KEYS = (
+    NUM_ADDRESS_REGISTERS + NUM_SCALAR_REGISTERS + NUM_VECTOR_REGISTERS + 2
+)
+
 #: Base offset of each register class inside the dense register-id space.
 _CLASS_KEY_BASE = {
     RegisterClass.ADDRESS: 0,

@@ -1,0 +1,42 @@
+"""Regenerate the golden-trace corpus from the frozen seed oracle.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src:. python tests/golden/generate.py
+
+Each corpus case in ``tests.golden_corpus.CASES`` is run once through the
+frozen :class:`tests.seed_engine.SeedEngine` and its per-dispatch rows are
+written to ``tests/golden/<case>.json``.  The files are committed; regenerate
+them **only** when the simulated machine semantics intentionally change, and
+say so in the commit message — the whole point of the corpus is that silent
+regeneration is suspicious.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from tests.golden_corpus import CASES, TRACE_FIELDS, golden_path, run_seed_case
+
+
+def main() -> int:
+    for name in sorted(CASES):
+        rows = run_seed_case(name)
+        document = {
+            "case": name,
+            "generator": "tests/golden/generate.py (seed oracle)",
+            "fields": list(TRACE_FIELDS),
+            "rows": rows,
+        }
+        path = golden_path(name)
+        path.write_text(json.dumps(document, separators=(",", ":")) + "\n")
+        print(f"wrote {path.name}: {len(rows)} dispatches")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,223 @@
+"""Property tests: columnar vs. object scoreboard call-by-call agreement.
+
+The columnar hazard tables replace the object scoreboard's per-register dict
+and per-bank read-end lists with flat int columns and top-K port slots.  The
+compression is only valid under the engine's contract — ``now`` never
+decreases across successive calls on one scoreboard — so this suite drives
+both implementations through identical random *monotonic* sequences of
+``record_read`` / ``record_write`` / ``reset`` operations interleaved with
+``earliest_dispatch`` / ``chain_start`` probes, and asserts that every probe
+result and every per-register state column agree, across both
+``model_bank_ports`` and ``allow_chaining`` settings.
+
+The sequences deliberately oversample the corners where the two data layouts
+could diverge: many readers piling onto one bank (port-slot eviction), reads
+and writes aliasing the same dense register key, and probes landing exactly
+on busy-interval boundaries.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoreboard import ColumnarScoreboard, Scoreboard
+from repro.isa.builder import (
+    scalar_load,
+    scalar_op,
+    vadd,
+    vload,
+    vmul,
+    vreduce,
+    vstore,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import A, S, V, all_registers
+
+ALL_REGISTERS = all_registers()
+
+# Small register pools bias the sequences towards aliasing and same-bank
+# traffic; the full pool keeps every dense key reachable.
+register_index = st.integers(min_value=0, max_value=7)
+crowded_vector = st.integers(min_value=0, max_value=1)  # one bank, two regs
+vector_length = st.sampled_from([1, 2, 16, 64, 128])
+
+
+@st.composite
+def probe_instruction(draw):
+    """A random instruction exercising one of the hazard-check shapes."""
+    shape = draw(
+        st.sampled_from(
+            ["vadd", "vmul", "vload", "vstore", "vreduce", "scalar", "scalar_load"]
+        )
+    )
+    vl = draw(vector_length)
+    crowded = draw(st.booleans())
+    index = crowded_vector if crowded else register_index
+    a, b, c = draw(index), draw(index), draw(index)
+    if shape == "vadd":
+        return vadd(V(a), V(b), V(c), vl=vl)
+    if shape == "vmul":
+        return vmul(V(a), V(b), V(c), vl=vl)
+    if shape == "vload":
+        return vload(V(a), vl=vl, address=0, stride=draw(st.sampled_from([1, 8])))
+    if shape == "vstore":
+        return vstore(V(a), A(b), vl=vl, address=0)
+    if shape == "vreduce":
+        return vreduce(S(a), V(b), vl=vl)
+    if shape == "scalar_load":
+        return scalar_load(S(a), address=0)
+    return scalar_op(Opcode.ADD_S, S(a), S(b), A(c))
+
+
+@st.composite
+def operation(draw):
+    """One scoreboard call: mutation or probe, with relative time deltas."""
+    kind = draw(
+        st.sampled_from(
+            ["read", "read", "write", "write", "probe", "probe", "chain", "reset"]
+        )
+    )
+    advance = draw(st.integers(min_value=0, max_value=25))
+    if kind == "read":
+        register = draw(st.sampled_from(ALL_REGISTERS))
+        duration = draw(st.integers(min_value=0, max_value=200))
+        return ("read", advance, register, duration)
+    if kind == "write":
+        register = draw(st.sampled_from(ALL_REGISTERS))
+        first_delta = draw(st.integers(min_value=0, max_value=60))
+        ready_delta = draw(st.integers(min_value=0, max_value=300))
+        chainable = draw(st.booleans())
+        return ("write", advance, register, first_delta, ready_delta, chainable)
+    if kind == "probe":
+        return ("probe", advance, draw(probe_instruction()))
+    if kind == "chain":
+        candidate_delta = draw(st.integers(min_value=0, max_value=120))
+        return ("chain", advance, draw(probe_instruction()), candidate_delta)
+    return ("reset", advance)
+
+
+def apply_sequence(boards, ops):
+    """Drive all boards through ``ops`` with a shared monotonic clock.
+
+    Yields, per probe-style op, the tuple of per-board results so the caller
+    can assert agreement mid-run (divergence is reported at the first call
+    that differs, not only in the final state).
+    """
+    now = 0
+    for op in ops:
+        kind = op[0]
+        now += op[1]
+        if kind == "read":
+            _, _, register, duration = op
+            for board in boards:
+                board.record_read(register, now, now + duration)
+        elif kind == "write":
+            _, _, register, first_delta, ready_delta, chainable = op
+            for board in boards:
+                board.record_write(
+                    register,
+                    first_element_at=now + first_delta,
+                    ready_at=now + ready_delta,
+                    chainable=chainable,
+                )
+        elif kind == "probe":
+            yield op, tuple(board.earliest_dispatch(op[2], now) for board in boards)
+        elif kind == "chain":
+            _, _, instruction, candidate_delta = op
+            yield op, tuple(
+                board.chain_start(instruction, now + candidate_delta)
+                for board in boards
+            )
+        else:
+            for board in boards:
+                board.reset()
+
+
+def assert_same_state(columnar, fallback):
+    """Every register's hazard columns agree between the two backends."""
+    for register in ALL_REGISTERS:
+        flat = columnar.state(register)
+        obj = fallback.state(register)
+        assert flat.ready_at == obj.ready_at, register
+        assert flat.first_element_at == obj.first_element_at, register
+        assert flat.chainable == obj.chainable, register
+        assert flat.write_busy_until == obj.write_busy_until, register
+        assert flat.read_busy_until == obj.read_busy_until, register
+
+
+class TestColumnarAgreesWithObjectScoreboard:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        ops=st.lists(operation(), min_size=1, max_size=60),
+        model_bank_ports=st.booleans(),
+        allow_chaining=st.booleans(),
+    )
+    def test_random_sequences_agree(self, ops, model_bank_ports, allow_chaining):
+        columnar = ColumnarScoreboard(
+            model_bank_ports=model_bank_ports, allow_chaining=allow_chaining
+        )
+        fallback = Scoreboard(
+            model_bank_ports=model_bank_ports, allow_chaining=allow_chaining
+        )
+        for op, (flat_result, object_result) in apply_sequence(
+            (columnar, fallback), ops
+        ):
+            assert flat_result == object_result, op
+        assert columnar.version == fallback.version
+        assert_same_state(columnar, fallback)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        reads=st.lists(
+            st.tuples(
+                crowded_vector,  # register inside one bank
+                st.integers(min_value=0, max_value=6),  # clock advance
+                st.integers(min_value=0, max_value=40),  # read duration
+            ),
+            min_size=3,
+            max_size=30,
+        ),
+        probe_gap=st.integers(min_value=0, max_value=50),
+    )
+    def test_port_slot_eviction_matches_prune_and_sort(self, reads, probe_gap):
+        """Many readers on one bank: top-K slots vs. the fallback's full list."""
+        columnar = ColumnarScoreboard()
+        fallback = Scoreboard()
+        now = 0
+        reader = vstore(V(0), A(0), vl=16, address=0)
+        for index, advance, duration in reads:
+            now += advance
+            for board in (columnar, fallback):
+                board.record_read(V(index), now, now + duration)
+            probe_at = now + probe_gap
+            assert columnar.earliest_dispatch(reader, probe_at) == (
+                fallback.earliest_dispatch(reader, probe_at)
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ready_delta=st.integers(min_value=0, max_value=64),
+        probe_delta=st.integers(min_value=0, max_value=64),
+        chainable=st.booleans(),
+        allow_chaining=st.booleans(),
+    )
+    def test_chain_window_boundaries_agree(
+        self, ready_delta, probe_delta, chainable, allow_chaining
+    ):
+        """Probes landing exactly on ``ready_at`` boundaries stay identical."""
+        columnar = ColumnarScoreboard(allow_chaining=allow_chaining)
+        fallback = Scoreboard(allow_chaining=allow_chaining)
+        for board in (columnar, fallback):
+            board.record_write(
+                V(0), first_element_at=10, ready_at=10 + ready_delta, chainable=chainable
+            )
+        consumer = vadd(V(2), V(0), V(4), vl=32)
+        now = 10 + probe_delta
+        assert columnar.earliest_dispatch(consumer, now) == fallback.earliest_dispatch(
+            consumer, now
+        )
+        candidate = 10 + probe_delta
+        assert columnar.chain_start(consumer, candidate) == fallback.chain_start(
+            consumer, candidate
+        )

@@ -28,6 +28,17 @@ from repro.core.suppliers import (
     RepeatingSupplier,
     SingleJobSupplier,
 )
+from repro.isa.builder import (
+    scalar_load,
+    scalar_op,
+    vadd,
+    vload,
+    vmul,
+    vreduce,
+    vstore,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import A, S, V
 from repro.workloads.generator import LoopSpec, WorkloadSpec, build_workload
 from repro.workloads.kernels import kernel_names
 
@@ -369,6 +380,196 @@ class TestFallbackReductionEquivalence:
 
         def make_suppliers() -> list[JobSupplier]:
             return [SingleJobSupplier(job) for job in jobs]
+
+        fast, seed = run_both(config, make_suppliers)
+        assert_cycle_identical(fast, seed)
+
+
+# --------------------------------------------------------------------------- #
+# the object-scoreboard fallback, against the same oracle
+# --------------------------------------------------------------------------- #
+class TestObjectScoreboardFallbackEquivalence:
+    """One equivalence case per machine model with the object scoreboard forced.
+
+    The columnar hazard tables are the default; the object-graph scoreboard
+    remains selectable (``REPRO_OBJECT_SCOREBOARD=1``, one CI matrix leg runs
+    the whole tier-1 suite that way).  This class guards the fallback inside
+    the default matrix legs, mirroring the no-numpy reduction class above.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _force_object_scoreboard(self):
+        from repro.core.scoreboard import set_columnar_scoreboard_enabled
+
+        previous = set_columnar_scoreboard_enabled(False)
+        try:
+            yield
+        finally:
+            set_columnar_scoreboard_enabled(previous)
+
+    def test_reference_fallback(self):
+        jobs = _make_jobs(sorted(kernel_names())[:1], 64)
+        config = MachineConfig.reference(50)
+        fast, seed = run_both(config, lambda: [SingleJobSupplier(jobs[0])])
+        assert_cycle_identical(fast, seed)
+
+    def test_multithreaded_fallback(self):
+        jobs = _make_jobs(sorted(kernel_names())[:2], 32)
+        config = MachineConfig.multithreaded(2, 50)
+
+        def make_suppliers() -> list[JobSupplier]:
+            return [SingleJobSupplier(jobs[0]), RepeatingSupplier(jobs[1])]
+
+        fast, seed = run_both(
+            config, make_suppliers, stop_when_completed_on_context0=True
+        )
+        assert_cycle_identical(fast, seed)
+
+    def test_dual_scalar_fallback(self):
+        jobs = _make_jobs(sorted(kernel_names())[:2], 16)
+        config = MachineConfig.dual_scalar_fujitsu(50)
+
+        def make_suppliers() -> list[JobSupplier]:
+            queue = JobQueueSupplier(jobs)
+            return [queue, queue]
+
+        fast, seed = run_both(config, make_suppliers)
+        assert_cycle_identical(fast, seed)
+
+    def test_cray_style_fallback(self):
+        jobs = _make_jobs(sorted(kernel_names())[:4], 32)
+        config = MachineConfig.cray_style(4, 50, num_memory_ports=3, issue_width=2)
+
+        def make_suppliers() -> list[JobSupplier]:
+            return [SingleJobSupplier(job) for job in jobs]
+
+        fast, seed = run_both(config, make_suppliers)
+        assert_cycle_identical(fast, seed)
+
+
+# --------------------------------------------------------------------------- #
+# hazard corner cases the kernel-built workloads under-sample
+# --------------------------------------------------------------------------- #
+@st.composite
+def hazard_corner_instructions(draw):
+    """Raw instruction streams oversampling scoreboard corner cases.
+
+    The kernel-built workloads spread vector registers across banks (the
+    register allocation mimics the Convex compiler), so the generated
+    streams rarely pile readers onto one bank or consume a load on the very
+    next decode slot.  This strategy builds adversarial streams instead:
+    same-cycle read-after-write inside one bank, chaining windows whose
+    boundary sweeps across the consumer's dispatch cycle, three concurrent
+    readers against the two read ports of bank 0, and tight WAW/WAR loops
+    on a single register.
+    """
+    vl = draw(st.sampled_from([1, 2, 3, 64, 127, 128]))
+    instructions = []
+    blocks = draw(st.integers(min_value=3, max_value=10))
+    for _ in range(blocks):
+        pattern = draw(
+            st.sampled_from(
+                [
+                    "same_cycle_raw",
+                    "chain_boundary",
+                    "port_pileup",
+                    "waw_war",
+                    "scalar_mix",
+                ]
+            )
+        )
+        if pattern == "same_cycle_raw":
+            # a (non-chainable) load consumed immediately, inside one bank
+            dest = draw(st.sampled_from([0, 1]))
+            instructions.append(vload(V(dest), vl=vl, address=0x1000, stride=1))
+            instructions.append(vadd(V(1 - dest), V(dest), V(dest), vl=vl))
+        elif pattern == "chain_boundary":
+            # scalar filler of drawn length sweeps the consumer's dispatch
+            # cycle across the producer's ready-at / first-element boundary
+            producer_vl = draw(st.sampled_from([1, 2, 64, 128]))
+            instructions.append(vadd(V(0), V(2), V(4), vl=producer_vl))
+            for _ in range(draw(st.integers(min_value=0, max_value=6))):
+                instructions.append(scalar_op(Opcode.ADD_S, S(0), S(1), S(2)))
+            instructions.append(vmul(V(6), V(0), V(2), vl=vl))
+        elif pattern == "port_pileup":
+            # three readers of bank 0 in flight: the 2-read-port limit binds
+            instructions.append(vadd(V(2), V(0), V(1), vl=vl))
+            instructions.append(vstore(V(0), A(0), vl=vl, address=0x2000))
+            instructions.append(vmul(V(4), V(1), V(0), vl=vl))
+        elif pattern == "waw_war":
+            # write, overwrite, then read one register back-to-back
+            instructions.append(vadd(V(3), V(0), V(1), vl=vl))
+            instructions.append(vload(V(3), vl=vl, address=0x3000, stride=8))
+            instructions.append(vstore(V(3), A(1), vl=vl, address=0x4000))
+        else:
+            instructions.append(scalar_load(S(3), address=0x100))
+            instructions.append(scalar_op(Opcode.ADD_S, S(4), S(3), S(3)))
+            instructions.append(
+                vreduce(S(5), V(draw(st.sampled_from([0, 1, 2]))), vl=vl)
+            )
+    return instructions
+
+
+class TestHazardCornerEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        instructions=hazard_corner_instructions(),
+        latency=st.sampled_from([1, 2, 50]),
+        allow_chaining=st.booleans(),
+        model_bank_ports=st.booleans(),
+    )
+    def test_single_context_hazard_corners(
+        self, instructions, latency, allow_chaining, model_bank_ports
+    ):
+        job = Job.from_instructions("hazard", instructions)
+        config = MachineConfig(
+            name="hazard",
+            num_contexts=1,
+            memory_latency=latency,
+            allow_chaining=allow_chaining,
+            model_bank_ports=model_bank_ports,
+        )
+        fast, seed = run_both(config, lambda: [SingleJobSupplier(job)])
+        assert_cycle_identical(fast, seed)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        instructions=hazard_corner_instructions(),
+        crossbar=st.sampled_from([1, 2, 3]),
+        scheduler=st.sampled_from(["unfair", "round_robin", "least_service"]),
+    )
+    def test_register_key_aliasing_across_threads(
+        self, instructions, crossbar, scheduler
+    ):
+        """Both contexts hammer the *same* architectural registers.
+
+        The dense ``Register.key`` space repeats per hardware context, so
+        the columnar hazard tables must stay strictly per-context: thread
+        1's write to ``V0`` may never disturb thread 0's ``V0`` column.
+        """
+        job0 = Job.from_instructions("alias-0", instructions)
+        job1 = Job.from_instructions("alias-1", list(reversed(instructions)))
+        config = MachineConfig.multithreaded(
+            2, 50, crossbar_latency=crossbar, scheduler=scheduler
+        )
+
+        def make_suppliers() -> list[JobSupplier]:
+            return [SingleJobSupplier(job0), RepeatingSupplier(job1)]
+
+        fast, seed = run_both(
+            config, make_suppliers, stop_when_completed_on_context0=True
+        )
+        assert_cycle_identical(fast, seed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(instructions=hazard_corner_instructions())
+    def test_dual_scalar_hazard_corners(self, instructions):
+        job = Job.from_instructions("hazard-dual", instructions)
+        config = MachineConfig.dual_scalar_fujitsu(50)
+
+        def make_suppliers() -> list[JobSupplier]:
+            queue = JobQueueSupplier([job, job])
+            return [queue, queue]
 
         fast, seed = run_both(config, make_suppliers)
         assert_cycle_identical(fast, seed)
