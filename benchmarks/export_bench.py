@@ -71,23 +71,44 @@ def _git_rev() -> str:
         return "unknown"
 
 
-def _git_tree_dirty() -> bool:
+def _git_tree_dirty(ignore: Path | None = None) -> bool:
     """Whether the working tree differs from HEAD (untracked files included).
 
     A baseline measured on a dirty tree records a ``git_rev`` that does not
     describe the code that produced the numbers — the stale-rev drift this
     harness used to allow.  Writing one now requires ``--allow-dirty`` and
-    marks the revision with a ``-dirty`` suffix.
+    marks the revision with a ``-dirty`` suffix.  ``ignore`` exempts the
+    output file itself: an uncommitted baseline from a previous export does
+    not change the code being measured, and re-measuring before committing
+    it must stay possible.
     """
+    repo_root = Path(__file__).resolve().parent.parent
     try:
         out = subprocess.run(
-            ["git", "status", "--porcelain"],
+            # -z: NUL-separated records with no C-quoting, so unusual
+            # filenames compare literally
+            ["git", "status", "--porcelain", "-z"],
             capture_output=True, text=True, check=True,
-            cwd=Path(__file__).resolve().parent,
+            cwd=repo_root,
         )
-        return bool(out.stdout.strip())
     except (OSError, subprocess.CalledProcessError):
         return False
+    records = out.stdout.split("\0")
+    index = 0
+    while index < len(records):
+        record = records[index]
+        index += 1
+        if not record:
+            continue
+        status, path = record[:2], record[3:]
+        if status[0] in "RC":
+            # renames/copies carry the source path as the next NUL token and
+            # are never just a regenerated output file
+            return True
+        if ignore is not None and (repo_root / path) == ignore:
+            continue
+        return True
+    return False
 
 
 def _time_run(fn, repeats: int) -> float:
@@ -502,7 +523,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    dirty = _git_tree_dirty()
+    dirty = _git_tree_dirty(ignore=args.output.resolve())
     if dirty and not args.allow_dirty:
         print(
             "error: refusing to write a throughput baseline from a dirty "
