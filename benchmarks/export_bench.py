@@ -18,7 +18,8 @@ Usage::
 With ``--check-against`` the freshly measured numbers are compared entry by
 entry against a previously committed baseline and the process exits non-zero
 when any single-run throughput — or the stats-finalize reduction rate of the
-columnar statistics pipeline, or the scoreboard-hazard dispatch rate —
+columnar statistics pipeline, the scoreboard-hazard dispatch rate, or the
+cold/warm jobs-per-second of the simulation service round-trip —
 dropped by more than ``--max-regression`` (default 30%).  Baselines are only
 written from a clean git tree (``--allow-dirty`` overrides, marking the
 recorded revision) and every entry records which scoreboard backend measured
@@ -348,6 +349,78 @@ def measure_scoreboard_hazard(repeats: int) -> list[dict]:
     ]
 
 
+#: Jobs per repeat of the service round-trip benchmark (distinct latencies).
+SERVICE_ROUNDTRIP_JOBS = 6
+#: Workload scale of the service round-trip jobs (tiny: the row measures the
+#: submit→simulate→store→fetch loop, not the engine).
+SERVICE_SCALE = 0.05
+
+
+def measure_service_roundtrip(repeats: int) -> list[dict]:
+    """Jobs/sec through the full HTTP submit→simulate→store→fetch loop.
+
+    Boots one :class:`~repro.service.http.ServiceServer` on an ephemeral port
+    with a temporary result store, then measures two rows:
+
+    * ``cold`` — every repeat clears the store first, so all jobs execute on
+      the persistent worker pool and are stored before being fetched;
+    * ``warm`` — the store is pre-populated, so every job is answered from
+      the durable cache (no engine execution).
+
+    ``instrs_per_sec`` records **jobs** per second for these rows.
+    """
+    import tempfile
+
+    from repro.service import ResultStore, ServiceClient, ServiceServer, SimulationService
+
+    documents = [
+        {
+            "machine": "reference",
+            "workloads": [{"benchmark": "tomcatv", "scale": SERVICE_SCALE}],
+            "options": {"memory_latency": latency},
+        }
+        for latency in range(10, 10 + SERVICE_ROUNDTRIP_JOBS)
+    ]
+    entries = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        service = SimulationService(store=store, workers=2)
+        with ServiceServer(service, port=0) as server:
+            client = ServiceClient(server.url)
+
+            def roundtrip() -> None:
+                handles = [
+                    client.submit(
+                        doc["machine"], doc["workloads"], **doc["options"]
+                    )
+                    for doc in documents
+                ]
+                for handle in handles:
+                    handle.wait(timeout=120.0)
+
+            roundtrip()  # spawn the worker pool outside the timed region
+
+            def cold() -> None:
+                store.clear()
+                roundtrip()
+
+            cold_seconds = _time_run(cold, repeats)
+            roundtrip()  # re-populate the store for the warm row
+            warm_seconds = _time_run(roundtrip, repeats)
+        for label, seconds in (("cold", cold_seconds), ("warm", warm_seconds)):
+            entries.append(
+                {
+                    "benchmark": "service_roundtrip",
+                    "model": label,
+                    "workload": f"jobs@{SERVICE_ROUNDTRIP_JOBS}",
+                    "instructions": SERVICE_ROUNDTRIP_JOBS,
+                    "seconds": round(seconds, 6),
+                    "instrs_per_sec": round(SERVICE_ROUNDTRIP_JOBS / seconds, 1),
+                }
+            )
+    return entries
+
+
 def measure_batch_scaling(repeats: int) -> list[dict]:
     """Wall time of the fixed request list under 1, 2 and 4 worker processes."""
     suite = build_suite(scale=BATCH_SCALE)
@@ -386,6 +459,7 @@ def collect(repeats: int, *, dirty: bool = False) -> dict:
         measure_single_runs(repeats)
         + measure_stats_finalize(repeats)
         + measure_scoreboard_hazard(repeats)
+        + measure_service_roundtrip(repeats)
         + measure_batch_scaling(repeats)
     )
     # every entry records which scoreboard path produced it, so a baseline
@@ -410,7 +484,12 @@ def collect(repeats: int, *, dirty: bool = False) -> dict:
 # --------------------------------------------------------------------------- #
 #: Benchmarks compared by the regression gate (batch-scaling rows measure
 #: process-pool behaviour dominated by CI core counts; record only).
-GATED_BENCHMARKS = ("single_run_throughput", "stats_finalize", "scoreboard_hazard")
+GATED_BENCHMARKS = (
+    "single_run_throughput",
+    "stats_finalize",
+    "scoreboard_hazard",
+    "service_roundtrip",
+)
 
 
 def _entry_key(entry: dict) -> tuple:

@@ -1,0 +1,66 @@
+"""CI smoke check for the simulation job service.
+
+Boots a :class:`~repro.service.http.ServiceServer` on an ephemeral port with
+a temporary durable store, submits **two identical** jobs plus **one
+distinct** job over HTTP, and asserts through ``GET /stats`` that request
+coalescing collapsed the identical pair into exactly one engine execution.
+The service starts *paused* so the identical pair is guaranteed to still be
+in flight when the second submission arrives (no timing luck involved), and
+the two waiters must receive byte-identical result payloads.
+
+Run it the way CI does::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.service import ResultStore, ServiceClient, ServiceServer, SimulationService
+
+#: The identical pair of submissions (same machine, workload, mode → one key).
+IDENTICAL_JOB = {"benchmark": "tomcatv", "scale": 0.05}
+#: The distinct third submission.
+DISTINCT_JOB = {"benchmark": "swm256", "scale": 0.05}
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        service = SimulationService(store=ResultStore(tmp), workers=2, paused=True)
+        with ServiceServer(service, port=0) as server:
+            print(f"service booted on {server.url}")
+            client = ServiceClient(server.url)
+            assert client.healthz()["status"] == "ok"
+
+            first = client.submit("reference", IDENTICAL_JOB)
+            second = client.submit("reference", IDENTICAL_JOB)
+            third = client.submit("reference", DISTINCT_JOB)
+            assert second.served_from == "coalesced", second.served_from
+
+            service.resume()
+            payload_first = first.result_bytes(timeout=120.0)
+            payload_second = second.result_bytes(timeout=120.0)
+            third.wait(timeout=120.0)
+
+            stats = client.stats()
+            print(
+                "stats: submitted={submitted} executed={executed} "
+                "coalesced={coalesced} store_hits={store_hits}".format(**stats)
+            )
+            assert stats["submitted"] == 3, stats
+            assert stats["executed"] == 2, stats  # 3 jobs, 2 engine executions
+            assert stats["coalesced"] == 1, stats
+            assert payload_first == payload_second, (
+                "coalesced waiters must receive byte-identical results"
+            )
+            assert stats["store"]["entries"] == 2, stats
+        # ServiceServer.__exit__ stopped the HTTP thread and shut the
+        # service (dispatcher + worker pools) down
+        print("coalescing smoke check passed; clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ The package implements, in pure Python:
   machines (:mod:`repro.core`),
 * the unified simulation API — machine-model registry, :class:`Machine`
   facade, batched parallel execution and run caching (:mod:`repro.api`),
+* the async simulation job service — durable result store, request
+  coalescing, HTTP JSON API and Python client (:mod:`repro.service`),
 * the experiment harness that regenerates every table and figure of the
   paper's evaluation (:mod:`repro.experiments`).
 
@@ -69,9 +71,16 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.experiments.runner import ExperimentContext, ExperimentSettings
+from repro.service import (
+    ResultStore,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    SimulationService,
+)
 from repro.workloads import build_benchmark, build_suite, build_workload
 
-__version__ = "1.1.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AssemblyError",
@@ -90,10 +99,15 @@ __all__ = [
     "MultithreadedSimulator",
     "ReferenceSimulator",
     "ReproError",
+    "ResultStore",
     "RunCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
     "SimulationError",
     "SimulationRequest",
     "SimulationResult",
+    "SimulationService",
     "TraceError",
     "WorkloadError",
     "__version__",

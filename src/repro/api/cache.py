@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import threading
 import weakref
 from collections import OrderedDict
 from collections.abc import Iterable
@@ -104,6 +105,10 @@ class RunCache:
 
     Entries are evicted least-recently-used once ``max_entries`` is exceeded
     (the default keeps every run of a full experiment regeneration).
+
+    All operations are thread-safe: the simulation service's threaded HTTP
+    front end shares one cache with worker-completion callbacks, so the
+    recency reordering and the hit/miss counters are guarded by a lock.
     """
 
     def __init__(self, max_entries: int | None = 4096) -> None:
@@ -111,18 +116,20 @@ class RunCache:
             raise ValueError("max_entries must be positive (or None for unbounded)")
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------ #
     def get(self, key: tuple) -> SimulationResult | None:
         """A fresh copy of the cached result, or ``None`` on a miss."""
-        payload = self._entries.get(key)
-        if payload is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
         return pickle.loads(payload)
 
     def put(self, key: tuple, result: SimulationResult) -> None:
@@ -132,23 +139,40 @@ class RunCache:
         (flat integer buffers shipped as raw bytes), not per-event object
         graphs.
         """
-        self._entries[key] = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        self._entries.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
+
+    def __getstate__(self) -> dict:
+        # locks are not picklable; a pickled cache snapshot re-arms its own
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_entries"] = self._entries.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RunCache(entries={len(self)}, hits={self.hits}, misses={self.misses})"

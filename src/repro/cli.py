@@ -18,6 +18,12 @@ Run the full-fidelity sweep (slow — minutes)::
 List every experiment id with its description::
 
     python -m repro.cli --list
+
+Run the simulation job service and submit work to it::
+
+    python -m repro.cli serve --port 8321 --store-dir ./repro-store --workers 4
+    python -m repro.cli submit --url http://127.0.0.1:8321 \
+        --machine multithreaded-2 --benchmark tomcatv --scale 0.3
 """
 
 from __future__ import annotations
@@ -31,7 +37,10 @@ from repro.experiments.figures import ALL_EXPERIMENTS, run_experiment
 from repro.experiments.report import render_report, render_timeline
 from repro.experiments.runner import ExperimentContext, ExperimentSettings
 
-__all__ = ["build_parser", "list_experiments", "main"]
+__all__ = ["build_parser", "list_experiments", "main", "serve_main", "submit_main"]
+
+#: Service subcommands routed away from the experiment-regeneration parser.
+SERVICE_COMMANDS = ("serve", "submit")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,8 +140,125 @@ def _dedupe(names: Sequence[str]) -> list[str]:
     return list(dict.fromkeys(names))
 
 
+# --------------------------------------------------------------------------- #
+# simulation service subcommands
+# --------------------------------------------------------------------------- #
+def serve_main(argv: Sequence[str]) -> int:
+    """``repro-mtv serve``: run the async simulation job service."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mtv serve",
+        description="Run the async simulation job service (HTTP JSON API).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: localhost)")
+    parser.add_argument("--port", type=int, default=8321, help="bind port; 0 for ephemeral")
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="persistent worker processes (default: 2)",
+    )
+    parser.add_argument(
+        "--store-dir", default="./repro-store",
+        help="result-store directory (default: ./repro-store)",
+    )
+    parser.add_argument(
+        "--max-store-mb", type=float, default=256.0,
+        help="LRU size bound of the result store in MiB (default: 256)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for a fixed time then exit (default: until interrupted)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import ResultStore, ServiceServer, SimulationService
+
+    store = ResultStore(args.store_dir, max_bytes=int(args.max_store_mb * 1024 * 1024))
+    service = SimulationService(store=store, workers=args.workers)
+    with ServiceServer(service, host=args.host, port=args.port) as server:
+        print(
+            f"serving on {server.url} "
+            f"(store: {store.directory}, workers: {args.workers})",
+            flush=True,
+        )
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:  # pragma: no cover - interactive foreground mode
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+    print("service stopped")
+    return 0
+
+
+def submit_main(argv: Sequence[str]) -> int:
+    """``repro-mtv submit``: submit one job to a running service."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mtv submit",
+        description="Submit a simulation job to a running repro-mtv service.",
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8321", help="service base URL")
+    parser.add_argument("--machine", default="reference", help="registered machine model name")
+    parser.add_argument(
+        "--benchmark", action="append", required=True, metavar="NAME",
+        help="benchmark analogue to run (repeat for group/queue modes)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale (default: 1.0)")
+    parser.add_argument(
+        "--mode", choices=["single", "group", "queue"], default="single",
+        help="execution mode (default: single)",
+    )
+    parser.add_argument("--priority", type=int, default=0, help="queue priority (higher first)")
+    parser.add_argument(
+        "--memory-latency", type=int, default=None, help="machine memory latency override"
+    )
+    parser.add_argument("--tag", default=None, help="free-form job tag")
+    parser.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and exit instead of waiting for the result",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="wait timeout in seconds (default: 300)"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    options = {}
+    if args.memory_latency is not None:
+        options["memory_latency"] = args.memory_latency
+    workloads = [
+        {"benchmark": name, "scale": args.scale} for name in args.benchmark
+    ]
+    handle = client.submit(
+        args.machine,
+        workloads,
+        mode=args.mode,
+        priority=args.priority,
+        tag=args.tag,
+        **options,
+    )
+    print(f"job {handle.job_id} submitted (served_from: {handle.served_from})")
+    if args.no_wait:
+        return 0
+    result = handle.wait(timeout=args.timeout)
+    print(
+        f"{args.machine}: {result.instructions} instructions in {result.cycles} cycles "
+        f"({result.stop_reason})"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] in SERVICE_COMMANDS:
+        # service subcommands have their own parsers; experiment ids keep
+        # the original positional interface
+        return serve_main(argv[1:]) if argv[0] == "serve" else submit_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -1,0 +1,51 @@
+"""Async simulation job service: durable store, coalescing queue, HTTP API.
+
+The scale layer on top of the :class:`~repro.api.machine.Machine` facade:
+
+* :class:`SimulationService` — job-queue server with a persistent process
+  worker pool, priority scheduling and request coalescing (N identical
+  in-flight submissions pay for one engine execution);
+* :class:`ResultStore` — disk-backed, content-addressed result store with
+  size-bounded LRU eviction and code-version invalidation (the durable
+  successor of the in-memory :class:`~repro.api.cache.RunCache`, and a
+  drop-in ``cache=`` for :class:`~repro.api.machine.Machine`);
+* :class:`ServiceServer` — stdlib JSON-over-HTTP front end
+  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /stats``, ``GET /healthz``);
+* :class:`ServiceClient` — Python client mirroring the ``Machine`` facade.
+
+Quick start::
+
+    from repro.service import ResultStore, ServiceClient, ServiceServer, SimulationService
+
+    service = SimulationService(store=ResultStore("./repro-store"), workers=4)
+    with ServiceServer(service, port=8321) as server:
+        client = ServiceClient(server.url)
+        result = client.submit("reference", "tomcatv").wait()
+
+Results are cycle-identical to ``Machine.run`` — the service schedules,
+deduplicates and stores what the engine produces, it never touches it.
+"""
+
+from repro.service.client import JobHandle, ServiceClient, ServiceError
+from repro.service.core import SimulationService
+from repro.service.http import ServiceServer
+from repro.service.jobs import JobRecord, JobState
+from repro.service.queue import CoalescingPriorityQueue
+from repro.service.specs import parse_job_document, workload_from_spec
+from repro.service.store import ResultStore, code_fingerprint, key_digest
+
+__all__ = [
+    "CoalescingPriorityQueue",
+    "JobHandle",
+    "JobRecord",
+    "JobState",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SimulationService",
+    "code_fingerprint",
+    "key_digest",
+    "parse_job_document",
+    "workload_from_spec",
+]

@@ -1,0 +1,204 @@
+"""Python client for the simulation service's HTTP API.
+
+Mirrors the :class:`~repro.api.machine.Machine` facade, but every call is a
+remote job submission::
+
+    client = ServiceClient("http://127.0.0.1:8321")
+    handle = client.submit("multithreaded-2", "tomcatv", memory_latency=70)
+    result = handle.wait()                # a SimulationResult, cycle-identical
+    print(result.cycles)                  # to Machine.run on the same inputs
+
+Workloads may be benchmark names / JSON specs (serialized declaratively) or
+real :class:`~repro.workloads.program.Program` / :class:`~repro.core.suppliers.Job`
+/ :class:`~repro.trace.records.TraceSet` objects (shipped as a pickled
+:class:`~repro.api.batch.SimulationRequest`, like the batch worker pool
+does).  Only stdlib :mod:`urllib` is used — no new runtime dependencies.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+from repro.api.batch import SimulationRequest
+from repro.core.results import SimulationResult
+from repro.errors import ReproError, SimulationError
+
+__all__ = ["JobHandle", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """Raised when the service answers with an error or cannot be reached."""
+
+
+@dataclass(frozen=True)
+class JobHandle:
+    """One submitted job: its id plus how the service is serving it."""
+
+    client: "ServiceClient"
+    job_id: str
+    served_from: str
+
+    def info(self) -> dict:
+        """The job's current status document."""
+        return self.client.job(self.job_id)
+
+    def wait(self, timeout: float | None = 60.0) -> SimulationResult:
+        """Block until the job completes and return its result."""
+        return self.client.wait(self.job_id, timeout=timeout)
+
+    def result_bytes(self, timeout: float | None = 60.0) -> bytes:
+        """The raw result pickle (byte-identical across coalesced waiters)."""
+        return self.client.result_bytes(self.job_id, timeout=timeout)
+
+
+class ServiceClient:
+    """HTTP client for one running simulation service."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------- #
+    def _call(self, path: str, body: dict | None = None) -> dict:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=None if body is None else json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+            method="GET" if body is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read()).get("error", str(error))
+            except Exception:
+                message = str(error)
+            raise ServiceError(f"{path}: HTTP {error.code}: {message}") from None
+        except (urllib.error.URLError, OSError) as error:
+            raise ServiceError(f"cannot reach {self.base_url}: {error}") from None
+
+    # -- submission ------------------------------------------------------ #
+    def submit(
+        self,
+        machine: str,
+        workloads,
+        *,
+        mode: str = "single",
+        instruction_limit: int | None = None,
+        restart_companions: bool = True,
+        priority: int = 0,
+        tag: str | None = None,
+        **options,
+    ) -> JobHandle:
+        """Submit one simulation, mirroring the :class:`Machine` facade.
+
+        ``workloads`` is one workload or a sequence; each may be a benchmark
+        name, a JSON spec object, or a real in-memory workload object.
+        """
+        if isinstance(workloads, (str, dict)) or not isinstance(workloads, (list, tuple)):
+            workloads = [workloads]
+        if all(isinstance(workload, (str, dict)) for workload in workloads):
+            document = {
+                "machine": machine,
+                "workloads": list(workloads),
+                "mode": mode,
+                "priority": priority,
+            }
+            if instruction_limit is not None:
+                document["instruction_limit"] = instruction_limit
+            if not restart_companions:
+                document["restart_companions"] = False
+            if options:
+                document["options"] = options
+            if tag is not None:
+                document["tag"] = tag
+            return self._submitted(self._call("/jobs", document))
+        # mixed lists (names/specs next to in-memory objects) take the pickled
+        # path too: materialize the declarative entries locally first
+        from repro.service.specs import workload_from_spec
+
+        request = SimulationRequest(
+            machine=machine,
+            workloads=tuple(
+                workload_from_spec(workload)
+                if isinstance(workload, (str, dict))
+                else workload
+                for workload in workloads
+            ),
+            mode=mode,
+            instruction_limit=instruction_limit,
+            restart_companions=restart_companions,
+            options=tuple(sorted(options.items())),
+            tag=tag,
+        )
+        return self.submit_request(request, priority=priority)
+
+    def submit_request(
+        self, request: SimulationRequest, *, priority: int = 0
+    ) -> JobHandle:
+        """Submit a fully-built request (shipped as a pickled payload)."""
+        try:
+            payload = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as error:
+            raise ServiceError(
+                f"request cannot be shipped over HTTP (unpicklable): {error}"
+            ) from None
+        document = {
+            "request_pickle": base64.b64encode(payload).decode("ascii"),
+            "priority": priority,
+        }
+        return self._submitted(self._call("/jobs", document))
+
+    def _submitted(self, answer: dict) -> JobHandle:
+        return JobHandle(
+            client=self, job_id=answer["job_id"], served_from=answer["served_from"]
+        )
+
+    # -- retrieval ------------------------------------------------------- #
+    def job(self, job_id: str) -> dict:
+        """Status document of one job (404 raises :class:`ServiceError`)."""
+        return self._call(f"/jobs/{job_id}")
+
+    def _finished_info(self, job_id: str, timeout: float | None, poll_interval: float) -> dict:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            info = self.job(job_id)
+            if info["state"] in ("done", "failed"):
+                return info
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for job {job_id} "
+                    f"(state: {info['state']})"
+                )
+            time.sleep(poll_interval)
+
+    def result_bytes(
+        self, job_id: str, timeout: float | None = 60.0, poll_interval: float = 0.05
+    ) -> bytes:
+        """Poll until done and return the raw result pickle bytes."""
+        info = self._finished_info(job_id, timeout, poll_interval)
+        if info["state"] == "failed":
+            raise SimulationError(f"job {job_id} failed: {info['error']}")
+        return base64.b64decode(info["result_pickle"])
+
+    def wait(
+        self, job_id: str, timeout: float | None = 60.0, poll_interval: float = 0.05
+    ) -> SimulationResult:
+        """Poll until done and return the job's :class:`SimulationResult`."""
+        return pickle.loads(self.result_bytes(job_id, timeout, poll_interval))
+
+    # -- introspection --------------------------------------------------- #
+    def stats(self) -> dict:
+        """The service's live counters (``GET /stats``)."""
+        return self._call("/stats")
+
+    def healthz(self) -> dict:
+        """Liveness probe (``GET /healthz``)."""
+        return self._call("/healthz")

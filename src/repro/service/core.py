@@ -1,0 +1,349 @@
+"""The asynchronous simulation job service.
+
+:class:`SimulationService` accepts :class:`~repro.api.batch.SimulationRequest`
+submissions and executes them on a **persistent** process worker pool (the
+pickled-payload shipping of :mod:`repro.api.batch`, but the pool outlives
+individual submissions instead of being respawned per batch).  Three layers
+keep redundant work off the engine:
+
+1. the durable :class:`~repro.service.store.ResultStore` answers submissions
+   whose content hash was simulated before — in this process or any earlier
+   one;
+2. the :class:`~repro.service.queue.CoalescingPriorityQueue` merges identical
+   in-flight requests, so N concurrent clients asking for the same
+   (configuration, workload, mode) tuple pay for exactly one execution;
+3. distinct requests are dispatched highest-priority-first.
+
+Results are **cycle-identical** to :meth:`repro.api.machine.Machine.run`: the
+service never touches the engine, it only schedules, deduplicates and stores
+what the engine produced.  All completion payloads are pickles; every waiter
+of one coalesced execution receives the *same* payload bytes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.api.batch import SimulationRequest, _execute_pickled, _execute_request, _ship_payload
+from repro.errors import ConfigurationError, SimulationError
+from repro.service.jobs import JobRecord, JobState
+from repro.service.queue import CoalescingPriorityQueue, QueueEntry
+from repro.service.store import ResultStore
+
+__all__ = ["SimulationService"]
+
+#: Completed job records kept for ``GET /jobs/<id>`` before being forgotten.
+DEFAULT_KEEP_JOBS = 1024
+
+
+class SimulationService:
+    """Job-queue server: submit, coalesce, execute, store, fetch.
+
+    Parameters
+    ----------
+    store:
+        Durable result store (optional; without one, results live only on the
+        bounded in-memory job records).
+    workers:
+        Worker processes in the persistent pool (also bounds the thread pool
+        used for requests that cannot be pickled across processes).
+    keep_jobs:
+        How many finished job records to retain for later ``result`` fetches.
+    paused:
+        Start with dispatching suspended (``resume()`` starts it); used by
+        tests and smoke checks to make coalescing deterministic.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: ResultStore | None = None,
+        workers: int = 2,
+        keep_jobs: int = DEFAULT_KEEP_JOBS,
+        paused: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("the service needs at least one worker")
+        if keep_jobs < 1:
+            raise ConfigurationError("keep_jobs must be positive")
+        self.store = store
+        self.workers = workers
+        self.keep_jobs = keep_jobs
+        self.started_at = time.time()
+
+        self._queue = CoalescingPriorityQueue()
+        self._jobs: OrderedDict[str, JobRecord] = OrderedDict()
+        self._lock = threading.RLock()
+        self._finished = threading.Condition(self._lock)
+        self._gate = threading.Event()
+        if not paused:
+            self._gate.set()
+        self._shutdown = False
+        self._inflight = 0
+
+        self._pool: ProcessPoolExecutor | None = None
+        self._local_pool: ThreadPoolExecutor | None = None
+        self._counters = {
+            "submitted": 0,
+            "executed": 0,
+            "coalesced": 0,
+            "store_hits": 0,
+            "failed": 0,
+        }
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        request: SimulationRequest,
+        *,
+        priority: int = 0,
+        tag: str | None = None,
+    ) -> JobRecord:
+        """Submit one simulation request; returns its job record immediately.
+
+        The record completes asynchronously — poll it, or block with
+        :meth:`wait`.  Identical in-flight requests coalesce; identical
+        *stored* requests return an already-completed record.
+        """
+        if not isinstance(request, SimulationRequest):
+            raise ConfigurationError(
+                f"submit() takes a SimulationRequest, got {type(request).__name__}"
+            )
+        key = request.cache_key()
+        job = JobRecord(
+            job_id=uuid.uuid4().hex,
+            key=key,
+            priority=priority,
+            tag=tag if tag is not None else request.tag,
+        )
+        # probe the store outside the service lock: it is internally
+        # thread-safe, and its disk round-trip must not serialize every
+        # concurrent HTTP submission/poll behind one file read.  (The probe
+        # racing a completion only costs, at worst, one redundant execution
+        # of an already-stored request — never a wrong result.)
+        payload = self.store.get_bytes(key) if self.store is not None else None
+        with self._lock:
+            if self._shutdown:
+                raise SimulationError("the service is shut down")
+            self._counters["submitted"] += 1
+            if payload is not None:
+                self._counters["store_hits"] += 1
+                job.served_from = "store"
+                job.payload = payload
+                job.finished_at = time.time()
+                job.state = JobState.DONE
+                self._remember(job)
+                self._finished.notify_all()
+                return job
+            try:
+                entry, coalesced = self._queue.offer(key, request, job.job_id, priority)
+            except RuntimeError:  # closed by a shutdown() that raced this submit
+                raise SimulationError("the service is shut down") from None
+            if coalesced:
+                self._counters["coalesced"] += 1
+                job.served_from = "coalesced"
+                if entry.running:
+                    job.state = JobState.RUNNING
+            else:
+                job.served_from = "executed"
+            self._remember(job)
+            return job
+
+    def _remember(self, job: JobRecord) -> None:
+        self._jobs[job.job_id] = job
+        while len(self._jobs) > self.keep_jobs:
+            for job_id, record in self._jobs.items():
+                if record.finished:
+                    del self._jobs[job_id]
+                    break
+            else:  # every tracked job is still live; keep them all
+                break
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            self._gate.wait()
+            entry = self._queue.take(timeout=0.1)
+            if entry is None:
+                if self._shutdown:
+                    return
+                continue
+            with self._lock:
+                self._inflight += 1
+                for job_id in entry.job_ids:
+                    record = self._jobs.get(job_id)
+                    if record is not None and not record.finished:
+                        record.state = JobState.RUNNING
+            try:
+                future = self._submit_to_pool(entry.request)
+            except Exception as error:  # pragma: no cover - pool creation failure
+                self._complete(entry, None, error)
+                continue
+            future.add_done_callback(
+                lambda f, entry=entry: self._complete(
+                    entry, f.result() if f.exception() is None else None, f.exception()
+                )
+            )
+
+    def _submit_to_pool(self, request: SimulationRequest) -> Future:
+        payload = _ship_payload(request)
+        if payload is None:
+            # Unpicklable (or spawn-unsafe) request: execute in-process on a
+            # thread so it cannot stall the dispatcher.
+            if self._local_pool is None:
+                self._local_pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-service-local"
+                )
+            return self._local_pool.submit(_execute_request, request)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool.submit(_execute_pickled, payload)
+
+    def _complete(self, entry: QueueEntry, result, error: BaseException | None) -> None:
+        payload = None
+        if error is None:
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            if self.store is not None:
+                # durable write outside the service lock (see submit())
+                try:
+                    self.store.put_bytes(entry.key, payload)
+                except OSError:  # pragma: no cover - store disk failure
+                    pass
+        with self._lock:
+            self._queue.finish(entry.key)
+            self._inflight -= 1
+            if error is None:
+                self._counters["executed"] += 1
+            else:
+                self._counters["failed"] += len(entry.job_ids)
+                if isinstance(error, BrokenProcessPool):
+                    # the persistent pool died with this job; rebuild it lazily
+                    self._pool = None
+            now = time.time()
+            for job_id in entry.job_ids:
+                record = self._jobs.get(job_id)
+                if record is None or record.finished:
+                    continue
+                record.finished_at = now
+                if error is None:
+                    # payload strictly before state: HTTP threads read records
+                    # without this lock, and a "done" job must never be
+                    # observable with its result still missing
+                    record.payload = payload
+                    record.state = JobState.DONE
+                else:
+                    record.error = f"{type(error).__name__}: {error}"
+                    record.state = JobState.FAILED
+            self._finished.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # retrieval
+    # ------------------------------------------------------------------ #
+    def job(self, job_id: str) -> JobRecord | None:
+        """The tracked record for ``job_id``, or ``None`` if unknown."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = 60.0) -> JobRecord:
+        """Block until the job reaches a terminal state and return its record."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._finished:
+            while True:
+                record = self._jobs.get(job_id)
+                if record is None:
+                    raise SimulationError(f"unknown job id {job_id!r}")
+                if record.finished:
+                    return record
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise SimulationError(
+                        f"timed out after {timeout}s waiting for job {job_id}"
+                    )
+                self._finished.wait(timeout=remaining)
+
+    def result(self, job_id: str, timeout: float | None = 60.0):
+        """Wait for the job and return a fresh copy of its result."""
+        return self.wait(job_id, timeout=timeout).result()
+
+    # ------------------------------------------------------------------ #
+    # control & introspection
+    # ------------------------------------------------------------------ #
+    def pause(self) -> None:
+        """Suspend dispatching (submissions still enqueue and coalesce)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        """Resume dispatching."""
+        self._gate.set()
+
+    @property
+    def paused(self) -> bool:
+        """Whether dispatching is currently suspended."""
+        return not self._gate.is_set()
+
+    def stats(self) -> dict:
+        """The live counters served at ``GET /stats``."""
+        with self._lock:
+            by_state: dict[str, int] = {}
+            for record in self._jobs.values():
+                by_state[record.state.value] = by_state.get(record.state.value, 0) + 1
+            stats = {
+                **self._counters,
+                "pending": self._queue.pending_count(),
+                "running": self._inflight,
+                "workers": self.workers,
+                "paused": self.paused,
+                "jobs_tracked": len(self._jobs),
+                "jobs_by_state": by_state,
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+            }
+            if self.store is not None:
+                stats["store"] = self.store.stats()
+            return stats
+
+    def drain(self, timeout: float | None = 60.0) -> None:
+        """Block until every queued and running entry has completed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._finished:
+            while len(self._queue) > 0 or self._inflight > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise SimulationError(f"timed out after {timeout}s draining the service")
+                self._finished.wait(timeout=0.05 if remaining is None else min(remaining, 0.05))
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting work, stop the dispatcher and tear down the pools."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        self._queue.close()
+        self._gate.set()  # unblock a paused dispatcher so it can exit
+        if wait:
+            self._dispatcher.join(timeout=5.0)
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+        if self._local_pool is not None:
+            self._local_pool.shutdown(wait=wait)
+            self._local_pool = None
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

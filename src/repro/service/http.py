@@ -1,0 +1,174 @@
+"""Stdlib HTTP front end for the simulation service.
+
+A thin JSON layer over :class:`~repro.service.core.SimulationService`, built
+on :class:`http.server.ThreadingHTTPServer` so it adds **no runtime
+dependencies**.  Endpoints:
+
+========================  ==================================================
+``POST /jobs``            submit a job document (see :mod:`repro.service.specs`);
+                          answers ``202`` with ``{job_id, state, served_from}``
+``GET /jobs/<id>``        job status; includes ``result_pickle`` (base64)
+                          once the job is done
+``GET /stats``            live service counters (submissions, executions,
+                          coalescing, store occupancy, queue depth)
+``GET /healthz``          liveness probe
+========================  ==================================================
+
+The server binds to localhost by default.  ``POST /jobs`` optionally accepts
+pickled requests (``request_pickle``), which implies arbitrary code execution
+on unpickle — do not expose the port beyond trusted clients.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ReproError
+from repro.service.core import SimulationService
+from repro.service.specs import parse_job_document
+
+__all__ = ["ServiceServer"]
+
+#: Largest request body accepted by ``POST /jobs`` (16 MiB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServiceServer"
+
+    # -- plumbing -------------------------------------------------------- #
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:  # pragma: no cover - log formatting only
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, document: dict) -> None:
+        body = json.dumps(document).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # -- routes ---------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, {"status": "ok", "service": "repro-mtv"})
+        elif path == "/stats":
+            self._send_json(200, service.stats())
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            record = service.job(job_id)
+            if record is None:
+                self._error(404, f"unknown job id {job_id!r}")
+            else:
+                self._send_json(200, record.describe(include_payload=True))
+        else:
+            self._error(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0].rstrip("/") != "/jobs":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length header")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, f"request body must be 1..{MAX_BODY_BYTES} bytes")
+            return
+        try:
+            document = json.loads(self.rfile.read(length))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._error(400, f"bad JSON body: {error}")
+            return
+        try:
+            request, priority = parse_job_document(document)
+            job = self.server.service.submit(
+                request, priority=priority, tag=request.tag
+            )
+        except ReproError as error:
+            self._error(400, str(error))
+            return
+        except Exception as error:
+            # never drop the connection without a response: unexpected
+            # failures (e.g. a submit racing shutdown) become a JSON 500
+            self._error(500, f"{type(error).__name__}: {error}")
+            return
+        self._send_json(
+            202,
+            {
+                "job_id": job.job_id,
+                "state": job.state.value,
+                "served_from": job.served_from,
+                "priority": job.priority,
+            },
+        )
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The service's HTTP server; owns a background serving thread.
+
+    ``port=0`` binds an ephemeral port (read :attr:`url` after construction).
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with ServiceServer(service, port=0) as server:
+            client = ServiceClient(server.url)
+            ...
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: SimulationService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.verbose = verbose
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (resolves ephemeral ports)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve requests on a background thread until :meth:`stop`."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever,
+                name="repro-service-http",
+                daemon=True,
+                kwargs={"poll_interval": 0.05},
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, *, shutdown_service: bool = True) -> None:
+        """Stop serving; optionally shut the underlying service down too."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.server_close()
+        if shutdown_service:
+            self.service.shutdown()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,86 @@
+"""Job records tracked by the simulation service.
+
+A *job* is one client submission.  Several jobs may share one underlying
+simulation (request coalescing) or be served straight from the durable store;
+``served_from`` records which path produced each job's result:
+
+* ``"executed"`` — this job's submission triggered the engine execution;
+* ``"coalesced"`` — the job joined an identical in-flight request;
+* ``"store"`` — the result was already in the :class:`~repro.service.store.ResultStore`.
+
+Completed jobs hold the pickled result payload (`bytes`), shared between all
+jobs of one coalesced entry, so every waiter downloads byte-identical data
+even if the store evicts the entry later.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+import time
+from dataclasses import dataclass, field
+
+from repro.core.results import SimulationResult
+from repro.errors import SimulationError
+
+__all__ = ["JobRecord", "JobState"]
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle of one submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class JobRecord:
+    """One client submission and (eventually) its result payload."""
+
+    job_id: str
+    key: tuple
+    state: JobState = JobState.QUEUED
+    priority: int = 0
+    served_from: str = "executed"
+    tag: str | None = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+    payload: bytes | None = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job has reached a terminal state."""
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    def result(self) -> SimulationResult:
+        """A fresh copy of the job's simulation result.
+
+        Raises :class:`~repro.errors.SimulationError` if the job failed or
+        has not completed yet.
+        """
+        if self.state is JobState.FAILED:
+            raise SimulationError(f"job {self.job_id} failed: {self.error}")
+        if self.payload is None:
+            raise SimulationError(f"job {self.job_id} has no result yet ({self.state.value})")
+        return pickle.loads(self.payload)
+
+    def describe(self, *, include_payload: bool = False) -> dict:
+        """JSON-ready description of this job (the ``GET /jobs/<id>`` body)."""
+        info = {
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "priority": self.priority,
+            "served_from": self.served_from,
+            "tag": self.tag,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+        if include_payload and self.payload is not None:
+            import base64
+
+            info["result_pickle"] = base64.b64encode(self.payload).decode("ascii")
+        return info

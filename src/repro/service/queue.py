@@ -1,0 +1,139 @@
+"""A priority queue that coalesces identical in-flight requests.
+
+The service identifies a simulation by its content-hash
+:func:`~repro.api.cache.request_key`; this queue guarantees that at any moment
+at most one *entry* exists per key.  N submissions of the same key while the
+first is still pending or running all attach to that one entry — they will be
+completed together by the single execution — and the queue orders distinct
+entries by ``(priority, arrival)`` with higher priorities dispatched first.
+
+A coalesced submission can *raise* the priority of a pending entry (a
+high-priority client joining a low-priority in-flight request should not wait
+behind the low-priority backlog); stale heap positions left behind by such a
+raise are skipped lazily at :meth:`take` time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["CoalescingPriorityQueue", "QueueEntry"]
+
+
+@dataclass
+class QueueEntry:
+    """One unique pending/running simulation and the jobs attached to it."""
+
+    key: tuple
+    request: object
+    priority: int
+    seq: int
+    job_ids: list[str] = field(default_factory=list)
+    running: bool = False
+
+    @property
+    def heap_token(self) -> tuple[int, int]:
+        """Current heap ordering token (higher priority first, then FIFO)."""
+        return (-self.priority, self.seq)
+
+
+class CoalescingPriorityQueue:
+    """Thread-safe priority queue with per-key request coalescing."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, tuple]] = []
+        self._entries: dict[tuple, QueueEntry] = {}
+        self._seq = itertools.count()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def offer(
+        self, key: tuple, request: object, job_id: str, priority: int = 0
+    ) -> tuple[QueueEntry, bool]:
+        """Enqueue (or join) the simulation identified by ``key``.
+
+        Returns ``(entry, coalesced)``: ``coalesced`` is ``True`` when the
+        job joined an entry that was already pending or running.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the queue has been closed")
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.job_ids.append(job_id)
+                if priority > entry.priority and not entry.running:
+                    # Re-push at the raised priority; the old heap position
+                    # becomes stale and is skipped at take() time.
+                    entry.priority = priority
+                    heapq.heappush(self._heap, (*entry.heap_token, key))
+                    self._not_empty.notify()
+                return entry, True
+            entry = QueueEntry(
+                key=key, request=request, priority=priority,
+                seq=next(self._seq), job_ids=[job_id],
+            )
+            self._entries[key] = entry
+            heapq.heappush(self._heap, (*entry.heap_token, key))
+            self._not_empty.notify()
+            return entry, False
+
+    def take(self, timeout: float | None = None) -> QueueEntry | None:
+        """Pop the highest-priority pending entry and mark it running.
+
+        Blocks until an entry is available; returns ``None`` on timeout or
+        once the queue is closed and drained.
+        """
+        with self._not_empty:
+            while True:
+                entry = self._pop_valid_locked()
+                if entry is not None:
+                    entry.running = True
+                    return entry
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+
+    def _pop_valid_locked(self) -> QueueEntry | None:
+        while self._heap:
+            neg_priority, seq, key = heapq.heappop(self._heap)
+            entry = self._entries.get(key)
+            if (
+                entry is None
+                or entry.running
+                or entry.heap_token != (neg_priority, seq)
+            ):
+                continue  # stale position (finished, running, or re-prioritized)
+            return entry
+        return None
+
+    def finish(self, key: tuple) -> QueueEntry | None:
+        """Retire the entry for ``key`` (after completion or failure)."""
+        with self._lock:
+            return self._entries.pop(key, None)
+
+    def close(self) -> None:
+        """Refuse further offers and wake every blocked :meth:`take`."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def pending_count(self) -> int:
+        """Entries enqueued but not yet taken."""
+        with self._lock:
+            return sum(1 for entry in self._entries.values() if not entry.running)
+
+    def running_count(self) -> int:
+        """Entries taken and not yet finished."""
+        with self._lock:
+            return sum(1 for entry in self._entries.values() if entry.running)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,130 @@
+"""JSON job specifications accepted by the service's HTTP API.
+
+The HTTP front end cannot receive :class:`~repro.workloads.program.Program`
+objects directly, so a job is described declaratively:
+
+.. code-block:: json
+
+    {
+      "machine": "multithreaded-2",
+      "workloads": ["tomcatv", {"benchmark": "swm256", "scale": 0.3}],
+      "mode": "group",
+      "options": {"memory_latency": 70},
+      "priority": 5,
+      "tag": "figure10"
+    }
+
+Workload forms:
+
+* a string — a benchmark analogue name (``build_benchmark(name)``);
+* ``{"benchmark": name, "scale": s}`` — a scaled benchmark analogue;
+* ``{"workload": {...}}`` — a full custom :class:`~repro.workloads.generator.WorkloadSpec`
+  (``name``, ``vector_instructions``, ``scalar_instructions``, ``loops`` as
+  ``[{"kernel", "vl", "weight", "stride"}]``, ``outer_passes``).
+
+Clients holding real :class:`~repro.api.batch.SimulationRequest` objects (with
+arbitrary in-memory programs or traces) can instead POST
+``{"request_pickle": "<base64>"}`` — the same pickled-payload shipping the
+batch worker pool uses.  The server unpickles it, so only expose the service
+to clients you trust with code execution (it is bound to localhost by
+default).
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+
+from repro.api.batch import SimulationRequest
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads import LoopSpec, WorkloadSpec, build_benchmark, build_workload
+
+__all__ = ["parse_job_document", "workload_from_spec"]
+
+#: Fields accepted at the top level of a JSON job document.
+_JOB_FIELDS = {
+    "machine", "workloads", "mode", "instruction_limit", "restart_companions",
+    "options", "priority", "tag", "request_pickle",
+}
+
+
+def workload_from_spec(spec):
+    """Materialize one workload from its JSON form (see module docstring)."""
+    if isinstance(spec, str):
+        return build_benchmark(spec)
+    if not isinstance(spec, dict):
+        raise WorkloadError(
+            f"a workload spec must be a string or object, got {type(spec).__name__}"
+        )
+    if "benchmark" in spec:
+        extra = set(spec) - {"benchmark", "scale"}
+        if extra:
+            raise WorkloadError(f"unknown benchmark spec field(s): {sorted(extra)}")
+        scale = spec.get("scale", 1.0)
+        return build_benchmark(spec["benchmark"], scale=scale)
+    if "workload" in spec:
+        body = dict(spec["workload"])
+        try:
+            loops = tuple(LoopSpec(**loop) for loop in body.pop("loops", ()))
+            return build_workload(WorkloadSpec(loops=loops, **body))
+        except TypeError as error:
+            raise WorkloadError(f"bad custom workload spec: {error}") from None
+    raise WorkloadError(
+        "a workload spec object needs a 'benchmark' or 'workload' field"
+    )
+
+
+def parse_job_document(document: dict) -> tuple[SimulationRequest, int]:
+    """Parse one POSTed job document into ``(request, priority)``.
+
+    Raises :class:`~repro.errors.ConfigurationError` /
+    :class:`~repro.errors.WorkloadError` on malformed documents (mapped to
+    HTTP 400 by the server).
+    """
+    if not isinstance(document, dict):
+        raise ConfigurationError("a job document must be a JSON object")
+    unknown = set(document) - _JOB_FIELDS
+    if unknown:
+        raise ConfigurationError(f"unknown job field(s): {sorted(unknown)}")
+    priority = document.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ConfigurationError("priority must be an integer")
+
+    if "request_pickle" in document:
+        conflicting = set(document) & {"machine", "workloads", "mode", "options"}
+        if conflicting:
+            raise ConfigurationError(
+                f"request_pickle excludes the declarative field(s) {sorted(conflicting)}"
+            )
+        try:
+            request = pickle.loads(base64.b64decode(document["request_pickle"]))
+        except Exception as error:
+            raise ConfigurationError(f"bad request_pickle: {error}") from None
+        if not isinstance(request, SimulationRequest):
+            raise ConfigurationError(
+                "request_pickle must encode a SimulationRequest, "
+                f"got {type(request).__name__}"
+            )
+        return request, priority
+
+    machine = document.get("machine")
+    if not isinstance(machine, str) or not machine:
+        raise ConfigurationError("a job document needs a 'machine' model name")
+    workload_specs = document.get("workloads")
+    if isinstance(workload_specs, (str, dict)):
+        workload_specs = [workload_specs]
+    if not isinstance(workload_specs, list) or not workload_specs:
+        raise ConfigurationError("a job document needs a non-empty 'workloads' list")
+    options = document.get("options", {})
+    if not isinstance(options, dict):
+        raise ConfigurationError("'options' must be an object")
+    request = SimulationRequest(
+        machine=machine,
+        workloads=tuple(workload_from_spec(spec) for spec in workload_specs),
+        mode=document.get("mode", "single"),
+        instruction_limit=document.get("instruction_limit"),
+        restart_companions=document.get("restart_companions", True),
+        options=tuple(sorted(options.items())),
+        tag=document.get("tag"),
+    )
+    return request, priority

@@ -1,0 +1,262 @@
+"""Disk-backed, content-addressed result store with LRU eviction.
+
+The in-memory :class:`~repro.api.cache.RunCache` evaporates with the process,
+which makes every service restart re-simulate the whole working set.  The
+:class:`ResultStore` promotes that cache to a durable one: each
+:class:`~repro.core.results.SimulationResult` is stored as one file under a
+store directory, addressed by the SHA-256 digest of its
+:func:`~repro.api.cache.request_key` — the same content hash the in-memory
+cache and the request-coalescing queue use, so all three layers agree on what
+"the same simulation" means.
+
+Durability and safety properties:
+
+* **round-trip across restarts** — entries are plain files; a fresh
+  :class:`ResultStore` on the same directory serves them immediately;
+* **size-bounded LRU eviction** — when the store grows past ``max_bytes``,
+  least-recently-*used* entries are deleted first (access order survives
+  restarts via file mtimes, which :meth:`get` refreshes);
+* **fingerprint invalidation** — every entry records the code fingerprint
+  (the :mod:`repro` version by default) it was produced by; entries written
+  by a different code version are treated as misses and deleted, so a store
+  directory can never serve results the current simulator would not produce;
+* **corruption degrades to a miss** — a truncated, unreadable or
+  wrong-keyed entry file is deleted and reported as a miss, never raised.
+
+The store exposes the same ``get(key)``/``put(key, result)`` surface as
+:class:`~repro.api.cache.RunCache`, so it is a drop-in ``cache=`` argument for
+:class:`~repro.api.machine.Machine` and :func:`~repro.api.batch.run_batch`.
+All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from pathlib import Path
+
+from repro.core.results import SimulationResult
+from repro.errors import ConfigurationError
+
+__all__ = ["ResultStore", "code_fingerprint", "key_digest"]
+
+#: Default size bound of a store directory (bytes).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Filename suffix of store entries.
+ENTRY_SUFFIX = ".res"
+
+
+def code_fingerprint() -> str:
+    """The fingerprint stamped into (and required of) every store entry.
+
+    Derived from the package version: bumping the version invalidates every
+    stored result, which is exactly what a change to the simulator's
+    observable behaviour must do to a durable cache.
+    """
+    import repro
+
+    return f"repro-{repro.__version__}"
+
+
+def key_digest(key: tuple) -> str:
+    """Stable SHA-256 digest of a request key (the entry's address on disk).
+
+    Request keys are tuples of strings, ints, ``None`` and booleans (the
+    content fingerprints computed by :func:`repro.api.cache.request_key`), so
+    their ``repr`` is deterministic across processes.
+    """
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+class ResultStore:
+    """A durable, size-bounded, content-addressed store of simulation results.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created if missing.
+    max_bytes:
+        Total payload size bound; least-recently-used entries are evicted
+        once it is exceeded (``None`` disables eviction).
+    fingerprint:
+        Code-version fingerprint required of entries; defaults to
+        :func:`code_fingerprint`.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+        fingerprint: str | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigurationError("max_bytes must be positive (or None for unbounded)")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.RLock()
+        #: digest -> (size_bytes, recency); recency is a monotonically
+        #: increasing use counter seeded from file mtimes at startup.
+        self._index: dict[str, tuple[int, float]] = {}
+        self._recency = 0.0
+        self._scan()
+
+    # ------------------------------------------------------------------ #
+    def _scan(self) -> None:
+        """Rebuild the eviction index from the directory contents."""
+        entries = []
+        for item in os.scandir(self.directory):
+            if item.is_file() and item.name.endswith(ENTRY_SUFFIX):
+                stat = item.stat()
+                entries.append((item.name[: -len(ENTRY_SUFFIX)], stat.st_size, stat.st_mtime))
+        entries.sort(key=lambda entry: entry[2])  # oldest first
+        self._index = {}
+        for order, (digest, size, _mtime) in enumerate(entries):
+            self._index[digest] = (size, float(order))
+        self._recency = float(len(entries))
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / (digest + ENTRY_SUFFIX)
+
+    def _touch(self, digest: str, size: int) -> None:
+        self._recency += 1.0
+        self._index[digest] = (size, self._recency)
+        try:
+            os.utime(self._path(digest))
+        except OSError:  # pragma: no cover - entry raced away underneath us
+            pass
+
+    def _discard(self, digest: str, *, evicted: bool = False) -> None:
+        self._index.pop(digest, None)
+        try:
+            self._path(digest).unlink()
+        except OSError:
+            pass
+        if evicted:
+            self.evictions += 1
+
+    def _evict_to_bound(self, protect: str | None = None) -> None:
+        if self.max_bytes is None:
+            return
+        while self.total_bytes() > self.max_bytes and len(self._index) > 1:
+            victim = min(
+                (digest for digest in self._index if digest != protect),
+                key=lambda digest: self._index[digest][1],
+                default=None,
+            )
+            if victim is None:
+                break
+            self._discard(victim, evicted=True)
+
+    # ------------------------------------------------------------------ #
+    def get_bytes(self, key: tuple) -> bytes | None:
+        """The stored result pickle for ``key``, or ``None`` on a miss.
+
+        Returns the exact payload bytes written by :meth:`put`, which is what
+        lets the service hand byte-identical responses to every waiter of a
+        coalesced request.
+        """
+        digest = key_digest(key)
+        with self._lock:
+            path = self._path(digest)
+            try:
+                raw = path.read_bytes()
+                envelope = pickle.loads(raw)
+                if (
+                    envelope["fingerprint"] != self.fingerprint
+                    or envelope["key"] != key
+                    or not isinstance(envelope["payload"], bytes)
+                ):
+                    raise ValueError("stale or mismatched store entry")
+                payload = envelope["payload"]
+            except FileNotFoundError:
+                self._index.pop(digest, None)
+                self.misses += 1
+                return None
+            except Exception:
+                # Corrupt, truncated, wrong-version or colliding entry:
+                # degrade to a miss and drop the file so it cannot keep
+                # failing on every probe.
+                self._discard(digest)
+                self.misses += 1
+                return None
+            self._touch(digest, len(raw))
+            self.hits += 1
+            return payload
+
+    def get(self, key: tuple) -> SimulationResult | None:
+        """A fresh copy of the stored result, or ``None`` on a miss."""
+        payload = self.get_bytes(key)
+        if payload is None:
+            return None
+        return pickle.loads(payload)
+
+    def put_bytes(self, key: tuple, payload: bytes) -> None:
+        """Store one already-pickled result under ``key`` (atomic write)."""
+        digest = key_digest(key)
+        envelope = pickle.dumps(
+            {"fingerprint": self.fingerprint, "key": key, "payload": payload},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        with self._lock:
+            path = self._path(digest)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_bytes(envelope)
+            os.replace(tmp, path)
+            self._touch(digest, len(envelope))
+            self._evict_to_bound(protect=digest)
+
+    def put(self, key: tuple, result: SimulationResult) -> None:
+        """Pickle and store one simulation result under ``key``."""
+        self.put_bytes(key, pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+
+    # ------------------------------------------------------------------ #
+    def total_bytes(self) -> int:
+        """Total size of every entry currently indexed."""
+        with self._lock:
+            return sum(size for size, _recency in self._index.values())
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            for digest in list(self._index):
+                self._discard(digest)
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> dict:
+        """Counters and occupancy, as reported by the service ``/stats``."""
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "bytes": self.total_bytes(),
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "fingerprint": self.fingerprint,
+                "directory": str(self.directory),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key_digest(key) in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultStore({str(self.directory)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

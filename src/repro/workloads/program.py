@@ -18,6 +18,8 @@ bank-port conflicts are rare (paper, section 3).
 from __future__ import annotations
 
 import itertools
+import threading
+from collections import OrderedDict
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 
@@ -33,7 +35,10 @@ __all__ = [
     "Program",
     "ScalarLoopNest",
     "VectorLoopNest",
+    "clear_expansion_intern",
+    "expansion_intern_info",
     "scalar_filler",
+    "set_expansion_interning",
 ]
 
 #: Size in bytes of one vector element.
@@ -405,6 +410,77 @@ class _Section:
     iterations: int
 
 
+# --------------------------------------------------------------------------- #
+# expanded-stream interning
+# --------------------------------------------------------------------------- #
+# Expanding a program clones every emitted instruction (`with_pc` per dynamic
+# instruction) — the top remaining hot spot of the tomcatv profile once the
+# engine itself went columnar.  Instructions are immutable, and the expansion
+# of the built-in loop nests is fully determined by (outer passes, per-loop
+# iteration counts, per-iteration address advance, static body variants), so
+# structurally identical programs — the same benchmark built twice, or a
+# program rebuilt after pickling into a worker process — can share one
+# expanded tuple.  The intern table below does exactly that, keyed by that
+# structural signature and bounded LRU so a long-lived service cannot
+# accumulate expansions without limit.
+
+#: Upper bound on retained expansions (each can be ~10⁵ instructions).
+_INTERN_MAX_ENTRIES = 32
+
+_intern_lock = threading.Lock()
+_interned_expansions: "OrderedDict[tuple, tuple[Instruction, ...]]" = OrderedDict()
+_interning_enabled = True
+_intern_hits = 0
+_intern_misses = 0
+
+
+def set_expansion_interning(enabled: bool) -> None:
+    """Globally enable/disable expanded-stream interning (default: enabled)."""
+    global _interning_enabled
+    with _intern_lock:
+        _interning_enabled = bool(enabled)
+
+
+def clear_expansion_intern() -> None:
+    """Drop every interned expansion and reset the hit/miss counters."""
+    global _intern_hits, _intern_misses
+    with _intern_lock:
+        _interned_expansions.clear()
+        _intern_hits = 0
+        _intern_misses = 0
+
+
+def expansion_intern_info() -> dict:
+    """Counters of the intern table (used by tests and diagnostics)."""
+    with _intern_lock:
+        return {
+            "enabled": _interning_enabled,
+            "entries": len(_interned_expansions),
+            "hits": _intern_hits,
+            "misses": _intern_misses,
+        }
+
+
+def _intern_lookup(key: tuple) -> "tuple[Instruction, ...] | None":
+    global _intern_hits
+    with _intern_lock:
+        expansion = _interned_expansions.get(key)
+        if expansion is not None:
+            _interned_expansions.move_to_end(key)
+            _intern_hits += 1
+        return expansion
+
+
+def _intern_store(key: tuple, expansion: "tuple[Instruction, ...]") -> None:
+    global _intern_misses
+    with _intern_lock:
+        _intern_misses += 1
+        _interned_expansions[key] = expansion
+        _interned_expansions.move_to_end(key)
+        while len(_interned_expansions) > _INTERN_MAX_ENTRIES:
+            _interned_expansions.popitem(last=False)
+
+
 class Program:
     """A synthetic benchmark program: an ordered sequence of loop nests.
 
@@ -469,25 +545,68 @@ class Program:
             blocks.extend(loop.basic_blocks())
         return blocks
 
+    def _intern_key(self) -> tuple | None:
+        """Structural signature of the expansion, or ``None`` if not internable.
+
+        Only the two built-in loop-nest classes are covered (a subclass could
+        override :meth:`LoopNest.emit` arbitrarily): for those, the dynamic
+        stream is fully determined by the outer-pass schedule, each loop's
+        iteration count, its per-iteration address advance and its static
+        body variants (instructions are hashable frozen records, so the body
+        tuples key directly).
+        """
+        parts: list = [self.outer_passes]
+        for loop in self._loops:
+            if type(loop) is VectorLoopNest:
+                advance = loop.vl * max(1, loop.stride) * ELEMENT_BYTES
+            elif type(loop) is ScalarLoopNest:
+                advance = ELEMENT_BYTES
+            else:
+                return None
+            parts.append(
+                (
+                    loop.iterations,
+                    advance,
+                    tuple(tuple(body) for body in loop.body_variants()),
+                )
+            )
+        return tuple(parts)
+
+    def _expand(self) -> tuple[Instruction, ...]:
+        """Emit the whole dynamic stream (the uninterned expansion path)."""
+        expanded: list[Instruction] = []
+        append = expanded.append
+        pc = 0
+        for section in self._schedule():
+            for instruction in section.loop.emit(
+                section.first_iteration, section.iterations
+            ):
+                append(instruction.with_pc(pc))
+                pc += 1
+        return tuple(expanded)
+
     def instructions(self) -> Iterator[Instruction]:
         """Expand the dynamic instruction stream of the whole program.
 
-        The expansion is materialized once and memoized: instructions are
-        immutable, so every later traversal (job restarts on companion
-        contexts, repeated runs of the same program, tracing) replays the
-        cached tuple instead of re-emitting each loop nest.
+        The expansion is materialized once and memoized per program;
+        structurally identical programs additionally share one *interned*
+        tuple (see the module's interning section), so rebuilding the same
+        benchmark — or restoring one from a pickle in a worker process —
+        costs a key computation instead of a full re-emission.
         """
         if self._expanded is None:
-            expanded: list[Instruction] = []
-            append = expanded.append
-            pc = 0
-            for section in self._schedule():
-                for instruction in section.loop.emit(
-                    section.first_iteration, section.iterations
-                ):
-                    append(instruction.with_pc(pc))
-                    pc += 1
-            self._expanded = tuple(expanded)
+            # schedule first: an intern hit must still assign block ids (and
+            # reject empty programs) exactly like a full expansion would
+            self._schedule()
+            key = self._intern_key() if _interning_enabled else None
+            if key is None:
+                self._expanded = self._expand()
+            else:
+                expansion = _intern_lookup(key)
+                if expansion is None:
+                    expansion = self._expand()
+                    _intern_store(key, expansion)
+                self._expanded = expansion
         return iter(self._expanded)
 
     def __getstate__(self) -> dict:

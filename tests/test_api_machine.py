@@ -260,3 +260,52 @@ class TestMachineCache:
         wide = Machine.named("ideal", decode_width=4, cache=cache).run(scalar_program)
         assert cache.hits == 0
         assert wide.cycles < narrow.cycles
+
+
+class TestRunCacheThreadSafety:
+    """The service's threaded HTTP front end shares one cache with worker
+    completions, so concurrent get/put/len must never corrupt the cache."""
+
+    def test_concurrent_get_put_with_eviction(self, triad_program):
+        import threading
+
+        machine = Machine.named("reference", memory_latency=50)
+        result = machine.run(triad_program)
+        cache = RunCache(max_entries=8)
+        keys = [("key", index) for index in range(16)]
+        errors = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for turn in range(200):
+                    key = keys[(seed * 7 + turn) % len(keys)]
+                    if turn % 3 == 0:
+                        cache.put(key, result)
+                    else:
+                        hit = cache.get(key)
+                        if hit is not None:
+                            assert hit.cycles == result.cycles
+                    len(cache)
+                    key in cache
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(seed,)) for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 8
+        assert cache.hits + cache.misses > 0
+
+    def test_cache_pickles_without_its_lock(self, triad_program):
+        import pickle
+
+        cache = RunCache()
+        machine = Machine.named("reference", memory_latency=50, cache=cache)
+        machine.run(triad_program)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert len(clone) == 1
+        clone.put(("fresh",), machine.run(triad_program))  # lock was re-armed
+        assert len(clone) == 2

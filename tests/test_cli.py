@@ -102,3 +102,76 @@ class TestMain:
             return [line for line in text.splitlines() if "regenerated in" not in line]
 
         assert rows(serial) == rows(parallel)
+
+
+class TestServiceCommands:
+    def test_serve_and_submit_round_trip(self, tmp_path, capsys):
+        import re
+        import threading
+
+        from repro.cli import serve_main, submit_main
+
+        store_dir = tmp_path / "store"
+        output = {}
+
+        def run_server() -> None:
+            output["code"] = serve_main(
+                ["--port", "0", "--store-dir", str(store_dir),
+                 "--workers", "1", "--duration", "12", "--max-store-mb", "16"]
+            )
+
+        server_thread = threading.Thread(target=run_server, daemon=True)
+        server_thread.start()
+        url = None
+        for _ in range(100):
+            captured = capsys.readouterr().out
+            match = re.search(r"serving on (http://\S+)", captured)
+            if match:
+                url = match.group(1)
+                break
+            import time
+
+            time.sleep(0.05)
+        assert url is not None, "serve never printed its URL"
+
+        code = submit_main(
+            ["--url", url, "--machine", "reference",
+             "--benchmark", "tomcatv", "--scale", "0.05"]
+        )
+        assert code == 0
+        first = capsys.readouterr().out
+        assert "served_from: executed" in first
+        assert re.search(r"\d+ instructions in \d+ cycles", first)
+
+        # the second submission must be answered from the durable store
+        code = submit_main(
+            ["--url", url, "--machine", "reference",
+             "--benchmark", "tomcatv", "--scale", "0.05", "--no-wait"]
+        )
+        assert code == 0
+        assert "served_from: store" in capsys.readouterr().out
+        server_thread.join(timeout=30.0)
+        assert output["code"] == 0
+        assert "service stopped" in capsys.readouterr().out
+
+    def test_submit_against_dead_server_raises_service_error(self):
+        import pytest as _pytest
+
+        from repro.cli import submit_main
+        from repro.service import ServiceError
+
+        with _pytest.raises(ServiceError):
+            submit_main(
+                ["--url", "http://127.0.0.1:9", "--machine", "reference",
+                 "--benchmark", "tomcatv", "--no-wait"]
+            )
+
+    def test_main_routes_service_subcommands(self, monkeypatch):
+        import repro.cli as cli
+
+        seen = {}
+        monkeypatch.setattr(cli, "serve_main", lambda argv: seen.setdefault("serve", argv) and 0)
+        monkeypatch.setattr(cli, "submit_main", lambda argv: seen.setdefault("submit", argv) and 0)
+        assert cli.main(["serve", "--port", "0"]) == 0
+        assert cli.main(["submit", "--no-wait"]) == 0
+        assert seen == {"serve": ["--port", "0"], "submit": ["--no-wait"]}

@@ -595,3 +595,71 @@ class TestTraceReplayEquivalence:
             config, lambda: [SingleJobSupplier(Job.from_program(program))]
         )
         assert_cycle_identical(program_fast, fast)
+
+
+# --------------------------------------------------------------------------- #
+# interned instruction-stream expansion, against a fresh uninterned emission
+# --------------------------------------------------------------------------- #
+class TestExpansionInterningEquivalence:
+    """The interned expansion must be indistinguishable from a fresh one.
+
+    ``Program.instructions`` interns expanded streams per structural
+    signature (PR 5's emission hot-spot fix), so two structurally identical
+    programs share one tuple.  These guards assert (a) the shared expansion
+    is exactly what an uninterned emission produces, instruction for
+    instruction, and (b) a simulation fed an interned stream stays
+    cycle-identical to the seed oracle fed a fresh uninterned one.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _clean_intern_table(self):
+        from repro.workloads.program import clear_expansion_intern
+
+        clear_expansion_intern()
+        yield
+        clear_expansion_intern()
+
+    @given(spec=workload_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_interned_stream_matches_uninterned(self, spec):
+        from repro.workloads.program import (
+            expansion_intern_info,
+            set_expansion_interning,
+        )
+
+        first = build_workload(spec)
+        second = build_workload(spec)
+        interned_first = list(first.instructions())
+        interned_second = list(second.instructions())
+        assert first._expanded is second._expanded, "identical programs must share"
+        assert expansion_intern_info()["hits"] >= 1
+        set_expansion_interning(False)
+        try:
+            fresh = list(build_workload(spec).instructions())
+        finally:
+            set_expansion_interning(True)
+        assert interned_first == fresh
+        assert interned_second == fresh
+
+    def test_interned_run_cycle_identical_to_uninterned_seed(self):
+        from repro.workloads.program import set_expansion_interning
+
+        spec = WorkloadSpec(
+            name="intern-equiv",
+            vector_instructions=80,
+            scalar_instructions=60,
+            loops=(LoopSpec(kernel=sorted(kernel_names())[0], vl=64, weight=1.0, stride=1),),
+            outer_passes=2,
+        )
+        config = MachineConfig.reference(50)
+        # warm the intern table, then run the engine on the interned stream
+        build_workload(spec).instructions()
+        interned_job = Job.from_program(build_workload(spec))
+        fast = SimulationEngine(config, [SingleJobSupplier(interned_job)]).run()
+        set_expansion_interning(False)
+        try:
+            seed_job = Job.from_program(build_workload(spec))
+            seed = SeedEngine(config, [SingleJobSupplier(seed_job)]).run()
+        finally:
+            set_expansion_interning(True)
+        assert_cycle_identical(fast, seed)

@@ -1,0 +1,214 @@
+"""Tests for the durable, content-addressed :class:`ResultStore`."""
+
+from __future__ import annotations
+
+import pickle
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import Machine, request_key
+from repro.errors import ConfigurationError
+from repro.service import ResultStore, code_fingerprint, key_digest
+from repro.service.store import ENTRY_SUFFIX
+
+
+@pytest.fixture(scope="module")
+def run_and_key(small_tomcatv):
+    """One real simulation result plus its content-hash request key."""
+    machine = Machine.named("reference")
+    result = machine.run(small_tomcatv)
+    key = request_key(machine.config, "single", [small_tomcatv])
+    return result, key
+
+
+def _fake_key(tag: str) -> tuple:
+    return ("config-" + tag, "single", ("workload-" + tag,), None, True)
+
+
+class TestRoundTrip:
+    def test_get_returns_fresh_equal_copies(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path)
+        assert store.get(key) is None
+        store.put(key, result)
+        first, second = store.get(key), store.get(key)
+        assert first is not second
+        assert first.cycles == result.cycles
+        assert pickle.dumps(first.stats) == pickle.dumps(second.stats)
+        assert store.hits == 2 and store.misses == 1
+        assert key in store and len(store) == 1
+
+    def test_round_trip_across_restart(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        ResultStore(tmp_path).put(key, result)
+        # a brand-new store instance on the same directory (a "restarted
+        # service") serves the entry without re-simulating
+        reborn = ResultStore(tmp_path)
+        assert len(reborn) == 1
+        hit = reborn.get(key)
+        assert hit is not None and hit.cycles == result.cycles
+        assert reborn.hits == 1 and reborn.misses == 0
+
+    def test_round_trip_across_processes(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        ResultStore(tmp_path).put(key, result)
+        script = (
+            "import pickle, sys\n"
+            "from repro.service import ResultStore\n"
+            "store = ResultStore(sys.argv[1])\n"
+            "key = pickle.loads(bytes.fromhex(sys.argv[2]))\n"
+            "hit = store.get(key)\n"
+            "assert hit is not None, 'store entry must survive into a new process'\n"
+            "print(hit.cycles)\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path), pickle.dumps(key).hex()],
+            capture_output=True, text=True, check=True,
+        )
+        assert int(out.stdout.strip()) == result.cycles
+
+    def test_byte_identical_payloads(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path)
+        store.put(key, result)
+        assert store.get_bytes(key) == store.get_bytes(key)
+
+
+class TestEviction:
+    def test_lru_eviction_at_size_bound(self, tmp_path, run_and_key):
+        result, _ = run_and_key
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        # room for roughly two entries (envelope overhead included)
+        store = ResultStore(tmp_path, max_bytes=int(len(payload) * 2.5))
+        keys = [_fake_key(str(index)) for index in range(3)]
+        store.put_bytes(keys[0], payload)
+        store.put_bytes(keys[1], payload)
+        assert len(store) == 2
+        store.get_bytes(keys[0])  # refresh key 0 → key 1 becomes the LRU
+        store.put_bytes(keys[2], payload)
+        assert store.evictions >= 1
+        assert keys[1] not in store
+        assert keys[0] in store and keys[2] in store
+
+    def test_eviction_order_survives_restart(self, tmp_path, run_and_key):
+        result, _ = run_and_key
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        seed = ResultStore(tmp_path, max_bytes=None)
+        keys = [_fake_key(str(index)) for index in range(3)]
+        for key in keys:
+            seed.put_bytes(key, payload)
+        reborn = ResultStore(tmp_path, max_bytes=int(len(payload) * 2.5))
+        reborn.put_bytes(_fake_key("fresh"), payload)
+        # the oldest on-disk entries (mtime order) must be the ones evicted
+        assert _fake_key("fresh") in reborn
+        assert keys[0] not in reborn
+
+    def test_oversized_single_entry_is_kept(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path, max_bytes=1)
+        store.put(key, result)
+        assert key in store  # the newest entry is never evicted by itself
+
+    def test_bad_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultStore(tmp_path, max_bytes=0)
+
+
+class TestInvalidation:
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path)
+        store.put(key, result)
+        entry = tmp_path / (key_digest(key) + ENTRY_SUFFIX)
+        entry.write_bytes(b"\x80corrupt garbage")
+        assert store.get(key) is None
+        assert store.misses == 1
+        assert not entry.exists()  # the broken file cannot keep failing
+
+    def test_truncated_entry_degrades_to_miss(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path)
+        store.put(key, result)
+        entry = tmp_path / (key_digest(key) + ENTRY_SUFFIX)
+        entry.write_bytes(entry.read_bytes()[:10])
+        assert ResultStore(tmp_path).get(key) is None
+
+    def test_code_version_change_invalidates(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        old = ResultStore(tmp_path, fingerprint="repro-0.0-old")
+        old.put(key, result)
+        current = ResultStore(tmp_path)  # defaults to code_fingerprint()
+        assert current.fingerprint == code_fingerprint()
+        assert current.get(key) is None
+        assert current.misses == 1
+        assert len(current) == 0  # the stale entry was dropped
+
+    def test_key_collision_guard(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path)
+        store.put(key, result)
+        # simulate a digest collision: the file exists but holds another key
+        entry = tmp_path / (key_digest(key) + ENTRY_SUFFIX)
+        envelope = pickle.loads(entry.read_bytes())
+        envelope["key"] = _fake_key("other")
+        entry.write_bytes(pickle.dumps(envelope))
+        assert store.get(key) is None
+
+
+class TestHousekeeping:
+    def test_clear_empties_directory_and_counters(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path)
+        store.put(key, result)
+        store.get(key)
+        store.clear()
+        assert len(store) == 0 and store.hits == 0 and store.misses == 0
+        assert not list(Path(tmp_path).glob("*" + ENTRY_SUFFIX))
+
+    def test_stats_document(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path, max_bytes=1 << 20)
+        store.put(key, result)
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] == store.total_bytes() > 0
+        assert stats["max_bytes"] == 1 << 20
+        assert stats["fingerprint"] == code_fingerprint()
+
+    def test_drop_in_machine_cache(self, tmp_path, small_tomcatv):
+        # ResultStore exposes the RunCache surface: Machine memoizes through it
+        store = ResultStore(tmp_path)
+        machine = Machine.named("reference", cache=store)
+        first = machine.run(small_tomcatv)
+        second = machine.run(small_tomcatv)
+        assert store.hits == 1 and store.misses == 1
+        assert first.cycles == second.cycles
+
+    def test_concurrent_access_is_safe(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path, max_bytes=1 << 20)
+        keys = [_fake_key(str(index)) for index in range(8)]
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        errors = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for turn in range(30):
+                    target = keys[(seed + turn) % len(keys)]
+                    if turn % 3 == 0:
+                        store.put_bytes(target, payload)
+                    else:
+                        store.get_bytes(target)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(seed,)) for seed in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors

@@ -13,7 +13,10 @@ from repro.workloads.program import (
     Program,
     ScalarLoopNest,
     VectorLoopNest,
+    clear_expansion_intern,
+    expansion_intern_info,
     scalar_filler,
+    set_expansion_interning,
 )
 
 
@@ -204,3 +207,77 @@ class TestProgram:
     def test_invalid_outer_passes(self):
         with pytest.raises(WorkloadError):
             Program("p", outer_passes=0)
+
+
+class TestExpansionInterning:
+    @pytest.fixture(autouse=True)
+    def _clean_intern_table(self):
+        clear_expansion_intern()
+        yield
+        clear_expansion_intern()
+
+    def build_program(self, passes=2):
+        program = Program("prog", outer_passes=passes)
+        space = AddressSpace()
+        program.add_loop(
+            VectorLoopNest("v", get_kernel("triad"), vl=16, iterations=6, address_space=space)
+        )
+        program.add_loop(ScalarLoopNest("s", iterations=4, address_space=space))
+        return program
+
+    def test_identical_programs_share_one_expansion(self):
+        first, second = self.build_program(), self.build_program()
+        assert list(first.instructions()) == list(second.instructions())
+        assert first._expanded is second._expanded
+        info = expansion_intern_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["entries"] == 1
+
+    def test_structurally_different_programs_do_not_share(self):
+        first, second = self.build_program(passes=1), self.build_program(passes=2)
+        list(first.instructions()), list(second.instructions())
+        assert first._expanded is not second._expanded
+        assert expansion_intern_info()["entries"] == 2
+
+    def test_pickle_round_trip_reuses_interned_expansion(self):
+        import pickle
+
+        program = self.build_program()
+        stream = list(program.instructions())
+        clone = pickle.loads(pickle.dumps(program))
+        assert list(clone.instructions()) == stream
+        assert clone._expanded is program._expanded
+
+    def test_disabled_interning_still_memoizes_per_program(self):
+        set_expansion_interning(False)
+        try:
+            first, second = self.build_program(), self.build_program()
+            assert list(first.instructions()) == list(second.instructions())
+            assert first._expanded is not second._expanded
+            assert first._expanded is not None  # per-instance memo still on
+            assert expansion_intern_info() == {
+                "enabled": False, "entries": 0, "hits": 0, "misses": 0,
+            }
+        finally:
+            set_expansion_interning(True)
+
+    def test_custom_loop_subclass_is_not_interned(self):
+        class TrickLoop(ScalarLoopNest):
+            def emit(self, first_iteration=0, count=None):
+                yield from super().emit(first_iteration, count)
+
+        program = Program("custom")
+        program.add_loop(TrickLoop("t", iterations=3))
+        list(program.instructions())
+        # a subclass could override emit arbitrarily, so its expansion must
+        # never be shared through the structural-signature table
+        assert expansion_intern_info()["entries"] == 0
+        assert program._expanded is not None
+
+    def test_intern_table_is_lru_bounded(self):
+        from repro.workloads.program import _INTERN_MAX_ENTRIES
+
+        for passes in range(1, _INTERN_MAX_ENTRIES + 3):
+            program = Program("prog", outer_passes=passes)
+            program.add_loop(ScalarLoopNest("s", iterations=passes))
+            list(program.instructions())
+        assert expansion_intern_info()["entries"] == _INTERN_MAX_ENTRIES
