@@ -13,6 +13,9 @@ The package implements, in pure Python:
   facade, batched parallel execution and run caching (:mod:`repro.api`),
 * the async simulation job service — durable result store, request
   coalescing, HTTP JSON API and Python client (:mod:`repro.service`),
+* declarative scenario sweeps — TOML/JSON specs compiled into deduplicated
+  request grids, fanned out locally or through the service, reduced into
+  distribution statistics and hashed manifests (:mod:`repro.sweep`),
 * the experiment harness that regenerates every table and figure of the
   paper's evaluation (:mod:`repro.experiments`).
 
@@ -67,6 +70,7 @@ from repro.errors import (
     IsaError,
     ReproError,
     SimulationError,
+    SweepError,
     TraceError,
     WorkloadError,
 )
@@ -78,9 +82,15 @@ from repro.service import (
     ServiceServer,
     SimulationService,
 )
+from repro.sweep import (
+    SweepSpec,
+    execute_sweep,
+    load_sweep_spec,
+    run_sweep,
+)
 from repro.workloads import build_benchmark, build_suite, build_workload
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AssemblyError",
@@ -108,14 +118,19 @@ __all__ = [
     "SimulationRequest",
     "SimulationResult",
     "SimulationService",
+    "SweepError",
+    "SweepSpec",
     "TraceError",
     "WorkloadError",
     "__version__",
     "build_benchmark",
     "build_suite",
     "build_workload",
+    "execute_sweep",
+    "load_sweep_spec",
     "model_names",
     "register_model",
     "run_batch",
+    "run_sweep",
     "simulate_program",
 ]

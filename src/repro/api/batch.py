@@ -191,6 +191,24 @@ def _execute_pickled(payload: bytes) -> SimulationResult:
     return _execute_request(pickle.loads(payload))
 
 
+def _execute_request_to_bytes(request: SimulationRequest) -> bytes:
+    """Run one request and pickle the result where it was produced.
+
+    Pickling in the producing process keeps payload bytes canonical: the
+    result's object graph still has its natural sharing (interned strings,
+    reused tuples), so identical simulations yield byte-identical payloads
+    no matter which process ran them.  Re-pickling a result after it crossed
+    a process boundary loses that sharing and changes the bytes — which is
+    exactly what content-hashed ledgers and byte-compared stores must avoid.
+    """
+    return pickle.dumps(_execute_request(request), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _execute_pickled_to_bytes(payload: bytes) -> bytes:
+    """Worker-process entry point returning the pickled result (see above)."""
+    return _execute_request_to_bytes(pickle.loads(payload))
+
+
 def _ship_payload(request: SimulationRequest) -> bytes | None:
     """The request pickled for a worker, or ``None`` if it must run in-process.
 

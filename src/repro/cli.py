@@ -37,10 +37,10 @@ from repro.experiments.figures import ALL_EXPERIMENTS, run_experiment
 from repro.experiments.report import render_report, render_timeline
 from repro.experiments.runner import ExperimentContext, ExperimentSettings
 
-__all__ = ["build_parser", "list_experiments", "main", "serve_main", "submit_main"]
+__all__ = ["build_parser", "list_experiments", "main", "serve_main", "submit_main", "sweep_main"]
 
 #: Service subcommands routed away from the experiment-regeneration parser.
-SERVICE_COMMANDS = ("serve", "submit")
+SERVICE_COMMANDS = ("serve", "submit", "sweep")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -250,6 +250,97 @@ def submit_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def sweep_main(argv: Sequence[str]) -> int:
+    """``repro-mtv sweep``: run a declarative scenario sweep from a spec file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mtv sweep",
+        description=(
+            "Compile a TOML/JSON sweep spec, execute every point (locally or "
+            "through a running service), aggregate repetition statistics and "
+            "optionally write the manifest artifacts."
+        ),
+    )
+    parser.add_argument("spec", help="path to the sweep spec (.toml or .json)")
+    parser.add_argument(
+        "--via-service", default=None, metavar="URL",
+        help="fan points out through a running repro-mtv service at URL",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write sweep.json, ledger.sha256 and SUMMARY.md to DIR",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="local worker processes (ignored with --via-service; default: 1)",
+    )
+    parser.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="durable local result store (ignored with --via-service)",
+    )
+    parser.add_argument("--priority", type=int, default=0, help="service queue priority")
+    parser.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="per-point wait timeout in seconds (default: 300)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress lines"
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    from repro.errors import ReproError
+    from repro.sweep import run_sweep
+
+    client = None
+    cache = None
+    if args.via_service is not None:
+        from repro.service import ServiceClient
+
+        client = ServiceClient(args.via_service)
+    elif args.store_dir is not None:
+        from repro.service import ResultStore
+
+        cache = ResultStore(args.store_dir)
+
+    def progress(outcome, completed: int, total: int) -> None:
+        marker = "FAIL" if outcome.failed else outcome.served_from
+        print(f"[{completed}/{total}] {outcome.point.label}: {marker}", flush=True)
+
+    try:
+        output = run_sweep(
+            args.spec,
+            jobs=args.jobs,
+            cache=cache,
+            client=client,
+            priority=args.priority,
+            timeout=args.timeout,
+            out_dir=args.out,
+            progress=None if args.quiet else progress,
+        )
+    except ReproError as error:
+        print(f"sweep failed: {error}", file=sys.stderr)
+        return 1
+
+    counts = output.run.counts()
+    print(
+        f"sweep {output.compiled.spec.name!r}: {counts['points']} points "
+        f"(executed: {counts.get('executed', 0)}, store: {counts.get('store', 0)}, "
+        f"deduplicated: {counts.get('deduplicated', 0)}, "
+        f"coalesced: {counts.get('coalesced', 0)}, failed: {counts['failed']}) "
+        f"in {output.run.elapsed:.2f}s via {output.run.via}"
+    )
+    for row in output.rows:
+        for metric in output.compiled.spec.metrics.select:
+            if metric in row.metrics:
+                print(f"  {row.label}: {metric} mean={row.stat(metric):g} (n={row.n})")
+    if output.artifacts:
+        print(f"[manifest written to {output.artifacts['sweep']}]")
+    for outcome in output.run.failures():
+        print(f"failed: {outcome.point.label}: {outcome.error}", file=sys.stderr)
+    return 1 if counts["failed"] else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -258,7 +349,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if argv and argv[0] in SERVICE_COMMANDS:
         # service subcommands have their own parsers; experiment ids keep
         # the original positional interface
-        return serve_main(argv[1:]) if argv[0] == "serve" else submit_main(argv[1:])
+        if argv[0] == "serve":
+            return serve_main(argv[1:])
+        if argv[0] == "sweep":
+            return sweep_main(argv[1:])
+        return submit_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -38,3 +38,8 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment specification cannot be satisfied."""
+
+
+class SweepError(ReproError):
+    """Raised when a scenario-sweep specification is malformed or cannot
+    be compiled into simulation requests."""

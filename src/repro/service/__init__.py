@@ -10,7 +10,8 @@ The scale layer on top of the :class:`~repro.api.machine.Machine` facade:
   successor of the in-memory :class:`~repro.api.cache.RunCache`, and a
   drop-in ``cache=`` for :class:`~repro.api.machine.Machine`);
 * :class:`ServiceServer` — stdlib JSON-over-HTTP front end
-  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /stats``, ``GET /healthz``);
+  (``POST /jobs``, ``GET /jobs/<id>`` with ``?follow=1`` long-polling,
+  ``GET /stats``, ``GET /metrics``, ``GET /healthz``);
 * :class:`ServiceClient` — Python client mirroring the ``Machine`` facade.
 
 Quick start::
@@ -28,7 +29,7 @@ deduplicates and stores what the engine produces, it never touches it.
 
 from repro.service.client import JobHandle, ServiceClient, ServiceError
 from repro.service.core import SimulationService
-from repro.service.http import ServiceServer
+from repro.service.http import ServiceServer, render_metrics
 from repro.service.jobs import JobRecord, JobState
 from repro.service.queue import CoalescingPriorityQueue
 from repro.service.specs import parse_job_document, workload_from_spec
@@ -47,5 +48,6 @@ __all__ = [
     "code_fingerprint",
     "key_digest",
     "parse_job_document",
+    "render_metrics",
     "workload_from_spec",
 ]

@@ -57,32 +57,69 @@ class JobHandle:
         return self.client.result_bytes(self.job_id, timeout=timeout)
 
 
-class ServiceClient:
-    """HTTP client for one running simulation service."""
+#: Seconds of server-side long-poll requested per ``?follow=1`` round trip.
+#: Kept under the server's ``MAX_FOLLOW_WAIT`` cap; the per-call socket
+#: timeout is stretched by this much so the held-back answer is not
+#: misread as an unreachable server.
+FOLLOW_CHUNK = 10.0
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+
+class ServiceClient:
+    """HTTP client for one running simulation service.
+
+    Every HTTP round trip runs under a per-call socket ``timeout`` and a
+    bounded retry budget: up to ``retries`` extra attempts (spaced
+    ``retry_interval`` seconds apart) on *connection-level* failures — a
+    dead or restarting server — before a :class:`ServiceError` is raised.
+    HTTP-level errors (4xx/5xx answers) are never retried; the server spoke,
+    it just said no.  The client therefore cannot hang indefinitely: the
+    worst case is ``(retries + 1) × timeout`` per call.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        retries: int = 2,
+        retry_interval: float = 0.2,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_interval = max(0.0, retry_interval)
 
     # -- transport ------------------------------------------------------- #
-    def _call(self, path: str, body: dict | None = None) -> dict:
+    def _fetch(self, path: str, body: dict | None = None, timeout: float | None = None) -> bytes:
         request = urllib.request.Request(
             self.base_url + path,
             data=None if body is None else json.dumps(body).encode(),
             headers={"Content-Type": "application/json"},
             method="GET" if body is None else "POST",
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as error:
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
             try:
-                message = json.loads(error.read()).get("error", str(error))
-            except Exception:
-                message = str(error)
-            raise ServiceError(f"{path}: HTTP {error.code}: {message}") from None
-        except (urllib.error.URLError, OSError) as error:
-            raise ServiceError(f"cannot reach {self.base_url}: {error}") from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout if timeout is None else timeout
+                ) as response:
+                    return response.read()
+            except urllib.error.HTTPError as error:
+                try:
+                    message = json.loads(error.read()).get("error", str(error))
+                except Exception:
+                    message = str(error)
+                raise ServiceError(f"{path}: HTTP {error.code}: {message}") from None
+            except (urllib.error.URLError, OSError) as error:
+                last_error = error
+                if attempt < self.retries:
+                    time.sleep(self.retry_interval)
+        raise ServiceError(
+            f"cannot reach {self.base_url} after {self.retries + 1} attempt(s): {last_error}"
+        ) from None
+
+    def _call(self, path: str, body: dict | None = None, timeout: float | None = None) -> dict:
+        return json.loads(self._fetch(path, body, timeout))
 
     # -- submission ------------------------------------------------------ #
     def submit(
@@ -167,9 +204,24 @@ class ServiceClient:
         return self._call(f"/jobs/{job_id}")
 
     def _finished_info(self, job_id: str, timeout: float | None, poll_interval: float) -> dict:
+        """Wait for a terminal state, long-polling instead of busy-polling.
+
+        Each round trip asks the server to hold the answer for up to
+        ``FOLLOW_CHUNK`` seconds (``?follow=1&wait=N``), so waiting costs a
+        handful of requests rather than ``timeout / poll_interval`` of them.
+        A server predating the long-poll answers immediately — detected by
+        the round trip returning unfinished faster than ``poll_interval`` —
+        and degrades gracefully to the old sleep-and-poll loop.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
-            info = self.job(job_id)
+            remaining = None if deadline is None else deadline - time.monotonic()
+            wait = FOLLOW_CHUNK if remaining is None else max(0.0, min(FOLLOW_CHUNK, remaining))
+            started = time.monotonic()
+            info = self._call(
+                f"/jobs/{job_id}?follow=1&wait={wait:g}",
+                timeout=self.timeout + wait,
+            )
             if info["state"] in ("done", "failed"):
                 return info
             if deadline is not None and time.monotonic() >= deadline:
@@ -177,7 +229,8 @@ class ServiceClient:
                     f"timed out after {timeout}s waiting for job {job_id} "
                     f"(state: {info['state']})"
                 )
-            time.sleep(poll_interval)
+            if time.monotonic() - started < poll_interval:
+                time.sleep(poll_interval)
 
     def result_bytes(
         self, job_id: str, timeout: float | None = 60.0, poll_interval: float = 0.05
@@ -198,6 +251,10 @@ class ServiceClient:
     def stats(self) -> dict:
         """The service's live counters (``GET /stats``)."""
         return self._call("/stats")
+
+    def metrics(self) -> str:
+        """The scrape-friendly plaintext counter export (``GET /metrics``)."""
+        return self._fetch("/metrics").decode()
 
     def healthz(self) -> dict:
         """Liveness probe (``GET /healthz``)."""

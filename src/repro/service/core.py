@@ -22,7 +22,6 @@ of one coalesced execution receives the *same* payload bytes.
 
 from __future__ import annotations
 
-import pickle
 import threading
 import time
 import uuid
@@ -30,7 +29,12 @@ from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.api.batch import SimulationRequest, _execute_pickled, _execute_request, _ship_payload
+from repro.api.batch import (
+    SimulationRequest,
+    _execute_pickled_to_bytes,
+    _execute_request_to_bytes,
+    _ship_payload,
+)
 from repro.errors import ConfigurationError, SimulationError
 from repro.service.jobs import JobRecord, JobState
 from repro.service.queue import CoalescingPriorityQueue, QueueEntry
@@ -200,6 +204,10 @@ class SimulationService:
             )
 
     def _submit_to_pool(self, request: SimulationRequest) -> Future:
+        # both entry points pickle the result in the process that produced
+        # it, so completion payloads are byte-identical regardless of which
+        # pool ran the request (canonical bytes for the store and for every
+        # content-hashing consumer, e.g. sweep ledgers)
         payload = _ship_payload(request)
         if payload is None:
             # Unpicklable (or spawn-unsafe) request: execute in-process on a
@@ -208,15 +216,13 @@ class SimulationService:
                 self._local_pool = ThreadPoolExecutor(
                     max_workers=self.workers, thread_name_prefix="repro-service-local"
                 )
-            return self._local_pool.submit(_execute_request, request)
+            return self._local_pool.submit(_execute_request_to_bytes, request)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool.submit(_execute_pickled, payload)
+        return self._pool.submit(_execute_pickled_to_bytes, payload)
 
-    def _complete(self, entry: QueueEntry, result, error: BaseException | None) -> None:
-        payload = None
+    def _complete(self, entry: QueueEntry, payload: bytes | None, error: BaseException | None) -> None:
         if error is None:
-            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
             if self.store is not None:
                 # durable write outside the service lock (see submit())
                 try:
@@ -273,6 +279,26 @@ class SimulationService:
                     raise SimulationError(
                         f"timed out after {timeout}s waiting for job {job_id}"
                     )
+                self._finished.wait(timeout=remaining)
+
+    def poll(self, job_id: str, timeout: float = 0.0) -> JobRecord | None:
+        """Bounded wait that never raises: the record in its *current* state.
+
+        Blocks for at most ``timeout`` seconds for the job to finish, then
+        returns its record finished or not (``None`` for an unknown id).
+        This is the long-poll primitive behind ``GET /jobs/<id>?follow=1``:
+        the HTTP layer needs "wait a bit, then report whatever is true now"
+        rather than :meth:`wait`'s raise-on-timeout contract.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._finished:
+            while True:
+                record = self._jobs.get(job_id)
+                if record is None or record.finished:
+                    return record
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return record
                 self._finished.wait(timeout=remaining)
 
     def result(self, job_id: str, timeout: float | None = 60.0):

@@ -8,9 +8,14 @@ dependencies**.  Endpoints:
 ``POST /jobs``            submit a job document (see :mod:`repro.service.specs`);
                           answers ``202`` with ``{job_id, state, served_from}``
 ``GET /jobs/<id>``        job status; includes ``result_pickle`` (base64)
-                          once the job is done
+                          once the job is done.  ``?follow=1[&wait=N]``
+                          long-polls: the answer is held back until the job
+                          finishes or ``N`` seconds elapse (capped at
+                          ``MAX_FOLLOW_WAIT``), then reports the current state
 ``GET /stats``            live service counters (submissions, executions,
                           coalescing, store occupancy, queue depth)
+``GET /metrics``          the same counters as scrape-friendly plaintext
+                          (``repro_*`` gauge lines plus derived rates)
 ``GET /healthz``          liveness probe
 ========================  ==================================================
 
@@ -23,16 +28,61 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ReproError
 from repro.service.core import SimulationService
 from repro.service.specs import parse_job_document
 
-__all__ = ["ServiceServer"]
+__all__ = ["ServiceServer", "render_metrics"]
 
 #: Largest request body accepted by ``POST /jobs`` (16 MiB).
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Hard cap on a single ``?follow=1`` long-poll, so a handler thread can
+#: never be parked indefinitely by one client.
+MAX_FOLLOW_WAIT = 30.0
+
+#: Long-poll wait applied when ``follow=1`` comes without an explicit
+#: ``wait=``; below the cap so default clients stay comfortably inside
+#: ordinary HTTP read timeouts.
+DEFAULT_FOLLOW_WAIT = 25.0
+
+
+def render_metrics(stats: dict) -> str:
+    """Render ``/stats`` counters as scrape-friendly ``name value`` lines.
+
+    Flat ``repro_*`` gauges, one per line — the exposition subset that both
+    Prometheus-style scrapers and ``awk`` agree on.  Derived rates
+    (``store_hit_rate``, ``coalesce_rate``) are precomputed so a dashboard
+    needs no query-side arithmetic.
+    """
+    submitted = stats.get("submitted", 0)
+    lines = [
+        f"repro_submitted_total {submitted}",
+        f"repro_executed_total {stats.get('executed', 0)}",
+        f"repro_coalesced_total {stats.get('coalesced', 0)}",
+        f"repro_store_hits_total {stats.get('store_hits', 0)}",
+        f"repro_failed_total {stats.get('failed', 0)}",
+        f"repro_queue_pending {stats.get('pending', 0)}",
+        f"repro_jobs_running {stats.get('running', 0)}",
+        f"repro_jobs_tracked {stats.get('jobs_tracked', 0)}",
+        f"repro_workers {stats.get('workers', 0)}",
+        f"repro_paused {int(bool(stats.get('paused')))}",
+        f"repro_uptime_seconds {stats.get('uptime_seconds', 0)}",
+        f"repro_store_hit_rate {stats.get('store_hits', 0) / submitted if submitted else 0.0:g}",
+        f"repro_coalesce_rate {stats.get('coalesced', 0) / submitted if submitted else 0.0:g}",
+    ]
+    store = stats.get("store")
+    if store is not None:
+        lines += [
+            f"repro_store_entries {store.get('entries', 0)}",
+            f"repro_store_bytes {store.get('bytes', 0)}",
+            f"repro_store_max_bytes {store.get('max_bytes', 0)}",
+            f"repro_store_evictions_total {store.get('evictions', 0)}",
+        ]
+    return "\n".join(lines) + "\n"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -51,20 +101,39 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
     # -- routes ---------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(200, {"status": "ok", "service": "repro-mtv"})
         elif path == "/stats":
             self._send_json(200, service.stats())
+        elif path == "/metrics":
+            self._send_text(200, render_metrics(service.stats()))
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
+            params = urllib.parse.parse_qs(query)
             record = service.job(job_id)
+            if record is not None and params.get("follow", ["0"])[-1] in ("1", "true", "yes"):
+                try:
+                    wait = float(params.get("wait", [str(DEFAULT_FOLLOW_WAIT)])[-1])
+                except ValueError:
+                    self._error(400, f"bad wait value {params['wait'][-1]!r}")
+                    return
+                record = service.poll(job_id, timeout=max(0.0, min(wait, MAX_FOLLOW_WAIT)))
             if record is None:
                 self._error(404, f"unknown job id {job_id!r}")
             else:

@@ -1,0 +1,98 @@
+"""Declarative scenario sweeps with a statistical harness.
+
+The figure experiments are single points in a much larger design space; this
+package sweeps that space declaratively instead of hand-rolling parameter
+loops.  A TOML/JSON **spec** declares axes, zip groups, derived parameters,
+repetitions (with deterministic seed derivation) and adapt-style
+perturbations; the **compiler** expands it into deduplicated
+:class:`~repro.api.batch.SimulationRequest` points with stable content ids;
+the **executor** fans points out in-process or through a running
+:mod:`repro.service` endpoint with per-point failure isolation; the
+**aggregator** reduces repetition groups into distribution statistics and
+pivot tables; and the **manifest writer** emits ``sweep.json``, a SHA-256
+result ledger and a human-readable summary.
+
+Quick start::
+
+    from repro.sweep import run_sweep
+
+    output = run_sweep("examples/sweeps/figure10_threads.toml", jobs=4)
+    for row in output.rows:
+        print(row.label, row.stat("cycles", "mean"))
+
+or through a running service (durable store + coalescing for free)::
+
+    from repro.service import ServiceClient
+
+    output = run_sweep(spec, client=ServiceClient("http://127.0.0.1:8321"))
+
+The CLI front end is ``repro-mtv sweep <spec> [--via-service URL] [--out DIR]``.
+"""
+
+from repro.sweep.aggregate import (
+    AggregateRow,
+    aggregate_run,
+    distribution,
+    metric_value,
+    pivot_table,
+)
+from repro.sweep.compile import (
+    CompiledSweep,
+    SweepPoint,
+    canonical_params,
+    compile_sweep,
+    derive_seed,
+)
+from repro.sweep.executor import PointOutcome, SweepRun, execute_sweep
+from repro.sweep.manifest import (
+    ledger_entries,
+    render_summary,
+    sweep_manifest,
+    write_manifest,
+)
+from repro.sweep.runner import SweepOutput, run_sweep
+from repro.sweep.spec import (
+    DerivedParam,
+    MetricsSpec,
+    PerturbationRule,
+    Repetitions,
+    RequestTemplate,
+    SweepAxis,
+    SweepSpec,
+    ZipGroup,
+    load_sweep_spec,
+    parse_sweep_spec,
+    parse_toml,
+)
+
+__all__ = [
+    "AggregateRow",
+    "CompiledSweep",
+    "DerivedParam",
+    "MetricsSpec",
+    "PerturbationRule",
+    "PointOutcome",
+    "Repetitions",
+    "RequestTemplate",
+    "SweepAxis",
+    "SweepOutput",
+    "SweepPoint",
+    "SweepRun",
+    "SweepSpec",
+    "ZipGroup",
+    "aggregate_run",
+    "canonical_params",
+    "compile_sweep",
+    "derive_seed",
+    "distribution",
+    "execute_sweep",
+    "ledger_entries",
+    "load_sweep_spec",
+    "metric_value",
+    "parse_sweep_spec",
+    "pivot_table",
+    "render_summary",
+    "run_sweep",
+    "sweep_manifest",
+    "write_manifest",
+]

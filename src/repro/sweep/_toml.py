@@ -1,0 +1,183 @@
+"""Minimal TOML-subset reader used when :mod:`tomllib` is unavailable.
+
+:mod:`tomllib` only exists on Python 3.11+, and this project adds no runtime
+dependencies, so on older interpreters sweep specs are parsed by this
+fallback.  It covers exactly the subset the sweep DSL uses:
+
+* ``[table]`` and dotted ``[table.sub]`` headers;
+* ``[[array-of-tables]]`` headers;
+* ``key = value`` pairs with basic strings, integers, floats, booleans,
+  and (nested) arrays of those;
+* ``#`` comments and blank lines.
+
+Anything outside that subset (multi-line strings, inline tables, dates,
+literal strings with escapes...) raises :class:`TomlFallbackError`, the same
+way :mod:`tomllib` raises ``TOMLDecodeError`` — sweep specs that load with
+one parser load identically with the other, which the test suite asserts on
+the shipped example specs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TomlFallbackError", "loads"]
+
+
+class TomlFallbackError(ValueError):
+    """Raised when the fallback reader cannot parse a document."""
+
+
+def _parse_scalar(token: str, line_no: int):
+    token = token.strip()
+    if not token:
+        raise TomlFallbackError(f"line {line_no}: missing value")
+    if token.startswith('"') or token.startswith("'"):
+        quote = token[0]
+        if len(token) < 2 or not token.endswith(quote):
+            raise TomlFallbackError(f"line {line_no}: unterminated string {token!r}")
+        body = token[1:-1]
+        if quote == '"':
+            try:
+                body = body.encode("utf-8").decode("unicode_escape")
+            except UnicodeDecodeError as error:
+                raise TomlFallbackError(f"line {line_no}: bad escape in {token!r}") from None
+        return body
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token, 0) if not any(c in token for c in ".eE") else float(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        raise TomlFallbackError(f"line {line_no}: unsupported value {token!r}") from None
+
+
+def _split_items(body: str, line_no: int) -> list[str]:
+    """Split a bracketed array body on top-level commas (strings respected)."""
+    items: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current = ""
+    for char in body:
+        if quote is not None:
+            current += char
+            if char == quote:
+                quote = None
+            continue
+        if char in "\"'":
+            quote = char
+            current += char
+        elif char == "[":
+            depth += 1
+            current += char
+        elif char == "]":
+            depth -= 1
+            if depth < 0:
+                raise TomlFallbackError(f"line {line_no}: unbalanced brackets")
+            current += char
+        elif char == "," and depth == 0:
+            items.append(current)
+            current = ""
+        else:
+            current += char
+    if quote is not None:
+        raise TomlFallbackError(f"line {line_no}: unterminated string")
+    if depth != 0:
+        raise TomlFallbackError(f"line {line_no}: unbalanced brackets")
+    if current.strip():
+        items.append(current)
+    return items
+
+
+def _parse_value(token: str, line_no: int):
+    token = token.strip()
+    if token.startswith("["):
+        if not token.endswith("]"):
+            raise TomlFallbackError(f"line {line_no}: unterminated array {token!r}")
+        return [_parse_value(item, line_no) for item in _split_items(token[1:-1], line_no)]
+    if token.startswith("{"):
+        raise TomlFallbackError(
+            f"line {line_no}: inline tables are not supported by the fallback reader"
+        )
+    return _parse_scalar(token, line_no)
+
+
+def _strip_comment(line: str) -> str:
+    quote: str | None = None
+    for position, char in enumerate(line):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char == "#":
+            return line[:position]
+    return line
+
+
+def _descend(document: dict, dotted: str, line_no: int) -> dict:
+    node = document
+    for part in dotted.split("."):
+        part = part.strip()
+        if not part:
+            raise TomlFallbackError(f"line {line_no}: empty table name component")
+        node = node.setdefault(part, {})
+        if isinstance(node, list):
+            node = node[-1]
+        if not isinstance(node, dict):
+            raise TomlFallbackError(f"line {line_no}: {dotted!r} redefines a value as a table")
+    return node
+
+
+def loads(text: str) -> dict:
+    """Parse a TOML-subset document into nested dictionaries and lists."""
+    document: dict = {}
+    target = document
+    # join physical lines while an array literal is still open, so multi-line
+    # arrays (the common layout for long axis grids) parse like tomllib
+    pending = ""
+    pending_start = 0
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if pending:
+            pending += " " + line
+            if pending.count("[") > pending.count("]"):
+                continue
+            line, pending = pending, ""
+            line_no = pending_start
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise TomlFallbackError(f"line {line_no}: malformed table-array header {line!r}")
+            dotted = line[2:-2].strip()
+            *parents, leaf = [part.strip() for part in dotted.split(".")]
+            parent = _descend(document, ".".join(parents), line_no) if parents else document
+            array = parent.setdefault(leaf, [])
+            if not isinstance(array, list):
+                raise TomlFallbackError(f"line {line_no}: {dotted!r} is not an array of tables")
+            array.append({})
+            target = array[-1]
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise TomlFallbackError(f"line {line_no}: malformed table header {line!r}")
+            target = _descend(document, line[1:-1], line_no)
+        else:
+            key, separator, value = line.partition("=")
+            if not separator:
+                raise TomlFallbackError(f"line {line_no}: expected 'key = value', got {line!r}")
+            key = key.strip().strip('"').strip("'")
+            if not key:
+                raise TomlFallbackError(f"line {line_no}: empty key")
+            value = value.strip()
+            if value.count("[") > value.count("]"):
+                pending = line
+                pending_start = line_no
+                continue
+            target[key] = _parse_value(value, line_no)
+    if pending:
+        raise TomlFallbackError(f"line {pending_start}: unterminated array")
+    return document

@@ -1,0 +1,192 @@
+"""Reduce sweep outcomes into distribution statistics and pivot tables.
+
+The ``test.sh`` half of the harness: points that differ only in their
+repetition parameters (``rep``/``seed``) form one *repetition group*, and
+every selected metric is reduced to ``n``/``mean``/``median``/``stdev``/
+``min``/``max`` plus the spec's percentiles.  Failed points are excluded
+from the statistics but counted per group, so a partially-failed sweep still
+aggregates cleanly.
+
+Metrics are resolved against :class:`~repro.core.results.SimulationResult`:
+first the headline properties (``cycles``, ``instructions``, ``vopc``,
+``memory_port_occupancy``, ``memory_port_idle_fraction``), then any key of
+the flat :meth:`~repro.core.results.SimulationResult.counters` mapping —
+which means every raw per-run counter of the statistics pipeline is
+sweepable without new code.
+"""
+
+from __future__ import annotations
+
+import statistics as _statistics
+from dataclasses import dataclass, field
+
+from repro.core.results import SimulationResult
+from repro.errors import SweepError
+from repro.sweep.compile import canonical_params
+from repro.sweep.executor import SweepRun
+
+__all__ = ["AggregateRow", "aggregate_run", "distribution", "metric_value", "pivot_table"]
+
+#: Result properties resolvable by name before falling back to counters().
+_RESULT_PROPERTIES = (
+    "cycles",
+    "instructions",
+    "vopc",
+    "memory_port_occupancy",
+    "memory_port_idle_fraction",
+)
+
+
+def metric_value(result: SimulationResult, metric: str) -> float:
+    """Resolve one metric of a simulation result by name."""
+    if metric in _RESULT_PROPERTIES:
+        return float(getattr(result, metric))
+    counters = result.counters()
+    if metric in counters:
+        return float(counters[metric])
+    raise SweepError(
+        f"unknown metric {metric!r}; headline metrics: {', '.join(_RESULT_PROPERTIES)}; "
+        f"counters: {', '.join(sorted(counters))}"
+    )
+
+
+def _percentile(ordered: list[float], quantile: float) -> float:
+    """Linear-interpolation percentile over an already-sorted sample."""
+    if not ordered:
+        raise SweepError("cannot take a percentile of an empty sample")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (quantile / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def distribution(values: list[float], percentiles: tuple[float, ...] = ()) -> dict:
+    """Reduce one sample to its distribution statistics."""
+    if not values:
+        raise SweepError("cannot summarize an empty sample")
+    ordered = sorted(values)
+    summary = {
+        "n": len(values),
+        "mean": _statistics.fmean(values),
+        "median": _statistics.median(values),
+        "stdev": _statistics.stdev(values) if len(values) > 1 else 0.0,
+        "min": ordered[0],
+        "max": ordered[-1],
+    }
+    for quantile in percentiles:
+        label = f"p{quantile:g}"
+        summary[label] = _percentile(ordered, quantile)
+    return summary
+
+
+@dataclass
+class AggregateRow:
+    """One repetition group and its per-metric distribution statistics."""
+
+    params: dict
+    label: str
+    n: int
+    failed: int
+    metrics: dict[str, dict] = field(default_factory=dict)
+
+    def stat(self, metric: str, name: str = "mean") -> float:
+        """One statistic of one metric (``row.stat("cycles", "p90")``)."""
+        try:
+            return self.metrics[metric][name]
+        except KeyError as error:
+            raise SweepError(
+                f"aggregate row {self.label!r} has no {name!r} for metric {metric!r}"
+            ) from error
+
+
+def aggregate_run(
+    run: SweepRun,
+    *,
+    metrics: tuple[str, ...] | None = None,
+    percentiles: tuple[float, ...] | None = None,
+) -> list[AggregateRow]:
+    """Group the run's points by repetition group and reduce each metric.
+
+    Group order follows first appearance in point order, so aggregation is as
+    deterministic as the compiler's expansion.
+    """
+    spec = run.spec
+    selected = tuple(metrics if metrics is not None else spec.metrics.select)
+    quantiles = tuple(percentiles if percentiles is not None else spec.metrics.percentiles)
+
+    groups: dict[str, dict] = {}
+    for outcome in run.outcomes:
+        group_params = outcome.point.group_params()
+        identity = canonical_params(group_params)
+        group = groups.setdefault(
+            identity,
+            {"params": group_params, "label": outcome.point.label, "results": [], "failed": 0},
+        )
+        if outcome.failed:
+            group["failed"] += 1
+            continue
+        result = outcome.result()
+        if result is not None:
+            group["results"].append(result)
+
+    rows: list[AggregateRow] = []
+    for group in groups.values():
+        label = group["label"]
+        if run.compiled.varying:
+            label = ",".join(
+                f"{name}={group['params'][name]}"
+                for name in run.compiled.varying
+                if name in group["params"]
+            ) or label
+        row = AggregateRow(
+            params=group["params"],
+            label=label,
+            n=len(group["results"]),
+            failed=group["failed"],
+        )
+        for metric in selected:
+            values = [metric_value(result, metric) for result in group["results"]]
+            if values:
+                row.metrics[metric] = distribution(values, quantiles)
+        rows.append(row)
+    return rows
+
+
+def pivot_table(
+    rows: list[AggregateRow],
+    *,
+    index: str,
+    columns: str,
+    metric: str,
+    stat: str = "mean",
+) -> dict:
+    """Cross one parameter against another for one metric statistic.
+
+    Returns ``{"index": [...], "columns": [...], "cells": {(i, c): value}}``
+    with index/column values in first-appearance order.  Groups missing
+    either parameter (or the metric) are skipped; colliding cells raise,
+    since that means the pivot under-specifies the group key.
+    """
+    index_values: list = []
+    column_values: list = []
+    cells: dict[tuple, float] = {}
+    for row in rows:
+        if index not in row.params or columns not in row.params:
+            continue
+        if metric not in row.metrics:
+            continue
+        i, c = row.params[index], row.params[columns]
+        if i not in index_values:
+            index_values.append(i)
+        if c not in column_values:
+            column_values.append(c)
+        if (i, c) in cells:
+            raise SweepError(
+                f"pivot ({index!r} × {columns!r}) is ambiguous: several groups "
+                f"land on cell ({i!r}, {c!r}); add the distinguishing parameter"
+            )
+        cells[(i, c)] = row.stat(metric, stat)
+    return {"index": index_values, "columns": column_values, "cells": cells}

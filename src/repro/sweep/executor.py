@@ -1,0 +1,358 @@
+"""Execute a compiled sweep: locally or through a running simulation service.
+
+Two fan-out paths, one result shape:
+
+* **local** — points run through the :mod:`repro.api.batch` machinery (the
+  same pickled-payload worker shipping ``run_batch`` uses), over an optional
+  process pool (``jobs=N``) and an optional cache/store;
+* **service** — points are submitted to a running :mod:`repro.service`
+  endpoint via :class:`~repro.service.client.ServiceClient`, which brings the
+  durable store, request coalescing and the persistent worker pool along for
+  free.
+
+Either way the executor streams completions through a progress callback and
+isolates failures per point: a point whose machine cannot be resolved or
+whose simulation raises is marked ``failed`` and the sweep carries on.
+Points whose requests hash to the same content key are executed once and the
+replicas marked ``deduplicated``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections.abc import Callable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.api.batch import (
+    _execute_pickled_to_bytes,
+    _execute_request_to_bytes,
+    _ship_payload,
+)
+from repro.core.results import SimulationResult
+from repro.errors import SweepError
+from repro.sweep.compile import CompiledSweep, SweepPoint
+
+__all__ = ["PointOutcome", "SweepRun", "execute_sweep"]
+
+#: ``progress(outcome, completed, total)`` fired as each point settles.
+ProgressCallback = Callable[["PointOutcome", int, int], None]
+
+
+@dataclass
+class PointOutcome:
+    """Terminal state of one sweep point."""
+
+    point: SweepPoint
+    status: str  # "done" | "failed"
+    served_from: str  # "executed" | "store" | "deduplicated" | "coalesced"
+    payload: bytes | None = None
+    error: str | None = None
+    elapsed: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    def result(self) -> SimulationResult | None:
+        """A fresh copy of the point's simulation result (``None`` if failed)."""
+        if self.payload is None:
+            return None
+        return pickle.loads(self.payload)
+
+    def result_sha256(self) -> str | None:
+        """SHA-256 of the result payload (the manifest-ledger entry)."""
+        if self.payload is None:
+            return None
+        import hashlib
+
+        return hashlib.sha256(self.payload).hexdigest()
+
+
+@dataclass
+class SweepRun:
+    """Every outcome of one executed sweep, in point order."""
+
+    compiled: CompiledSweep
+    outcomes: list[PointOutcome] = field(default_factory=list)
+    via: str = "local"
+    elapsed: float = 0.0
+
+    @property
+    def spec(self):
+        return self.compiled.spec
+
+    def failures(self) -> list[PointOutcome]:
+        """The points that failed, in point order."""
+        return [outcome for outcome in self.outcomes if outcome.failed]
+
+    def counts(self) -> dict[str, int]:
+        """How each point was served (`executed`/`store`/`deduplicated`/...)."""
+        counts: dict[str, int] = {"points": len(self.outcomes), "failed": 0}
+        for outcome in self.outcomes:
+            if outcome.failed:
+                counts["failed"] += 1
+            else:
+                counts[outcome.served_from] = counts.get(outcome.served_from, 0) + 1
+        return counts
+
+
+def _outcome_from_error(point: SweepPoint, error: BaseException, elapsed: float) -> PointOutcome:
+    return PointOutcome(
+        point=point,
+        status="failed",
+        served_from="executed",
+        error=f"{type(error).__name__}: {error}",
+        elapsed=elapsed,
+    )
+
+
+def _pickle_result(result: SimulationResult) -> bytes:
+    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# --------------------------------------------------------------------------- #
+# local execution
+# --------------------------------------------------------------------------- #
+def _execute_local(
+    compiled: CompiledSweep,
+    *,
+    jobs: int,
+    cache,
+    emit: Callable[[PointOutcome], None],
+) -> None:
+    # group points by content key so identical requests (repetitions whose
+    # seed feeds nothing, overlapping perturbations) execute exactly once
+    primaries: list[SweepPoint] = []
+    primary_for_key: dict[tuple, SweepPoint] = {}
+    followers: dict[str, list[SweepPoint]] = {}
+    keys: dict[str, tuple | None] = {}
+    for point in compiled.points:
+        try:
+            # resolves the machine (registry name + options), so a point with
+            # an unknown model or a bad option fails alone, right here
+            key = point.request.cache_key()
+        except Exception as error:
+            emit(_outcome_from_error(point, error, 0.0))
+            continue
+        keys[point.point_id] = key
+        if key in primary_for_key:
+            followers.setdefault(primary_for_key[key].point_id, []).append(point)
+        else:
+            primary_for_key[key] = point
+            primaries.append(point)
+
+    def settle(point: SweepPoint, outcome: PointOutcome) -> None:
+        emit(outcome)
+        for follower in followers.get(point.point_id, ()):  # share the payload bytes
+            emit(
+                PointOutcome(
+                    point=follower,
+                    status=outcome.status,
+                    served_from="deduplicated",
+                    payload=outcome.payload,
+                    error=outcome.error,
+                    elapsed=0.0,
+                )
+            )
+
+    # serve store/cache hits first (and record which points still need work)
+    pending: list[SweepPoint] = []
+    for point in primaries:
+        key = keys[point.point_id]
+        payload = None
+        if cache is not None:
+            started = time.perf_counter()
+            if hasattr(cache, "get_bytes"):
+                payload = cache.get_bytes(key)
+            else:
+                hit = cache.get(key)
+                payload = None if hit is None else _pickle_result(hit)
+            if payload is not None:
+                settle(
+                    point,
+                    PointOutcome(
+                        point=point,
+                        status="done",
+                        served_from="store",
+                        payload=payload,
+                        elapsed=time.perf_counter() - started,
+                    ),
+                )
+                continue
+        pending.append(point)
+
+    def record(point: SweepPoint, payload: bytes, elapsed: float) -> None:
+        if cache is not None:
+            key = keys[point.point_id]
+            if hasattr(cache, "put_bytes"):
+                cache.put_bytes(key, payload)
+            else:
+                cache.put(key, pickle.loads(payload))
+        settle(
+            point,
+            PointOutcome(
+                point=point,
+                status="done",
+                served_from="executed",
+                payload=payload,
+                elapsed=elapsed,
+            ),
+        )
+
+    local: list[SweepPoint] = []
+    if jobs > 1 and len(pending) > 1:
+        payloads = {point.point_id: _ship_payload(point.request) for point in pending}
+        shippable = [point for point in pending if payloads[point.point_id] is not None]
+        local = [point for point in pending if payloads[point.point_id] is None]
+        if len(shippable) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(shippable))) as pool:
+                started = time.perf_counter()
+                # workers return the result pre-pickled: payload bytes stay
+                # canonical (identical to a serial in-process run), so ledger
+                # hashes do not depend on the --jobs setting
+                futures = {
+                    pool.submit(_execute_pickled_to_bytes, payloads[point.point_id]): point
+                    for point in shippable
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        point = futures[future]
+                        elapsed = time.perf_counter() - started
+                        error = future.exception()
+                        if error is not None:
+                            settle(point, _outcome_from_error(point, error, elapsed))
+                        else:
+                            record(point, future.result(), elapsed)
+        else:
+            local = pending
+    else:
+        local = pending
+
+    for point in local:
+        started = time.perf_counter()
+        try:
+            payload = _execute_request_to_bytes(point.request)
+        except Exception as error:
+            settle(point, _outcome_from_error(point, error, time.perf_counter() - started))
+        else:
+            record(point, payload, time.perf_counter() - started)
+
+
+# --------------------------------------------------------------------------- #
+# service execution
+# --------------------------------------------------------------------------- #
+def _execute_via_service(
+    compiled: CompiledSweep,
+    *,
+    client,
+    priority: int,
+    timeout: float | None,
+    emit: Callable[[PointOutcome], None],
+) -> None:
+    from repro.errors import SimulationError
+    from repro.service.client import ServiceError
+
+    # submit everything up front (the service coalesces identical in-flight
+    # requests itself), then stream results back in submission order — the
+    # long-poll wait keeps this from busy-polling the endpoint
+    handles: list[tuple[SweepPoint, object | None, str | None]] = []
+    for point in compiled.points:
+        try:
+            handle = client.submit_request(point.request, priority=priority)
+        except ServiceError as error:
+            handles.append((point, None, str(error)))
+        else:
+            handles.append((point, handle, None))
+
+    for point, handle, submit_error in handles:
+        if handle is None:
+            emit(
+                PointOutcome(
+                    point=point,
+                    status="failed",
+                    served_from="executed",
+                    error=submit_error,
+                )
+            )
+            continue
+        started = time.perf_counter()
+        try:
+            payload = handle.result_bytes(timeout=timeout)
+        except (SimulationError, ServiceError) as error:
+            emit(
+                _outcome_from_error(point, error, time.perf_counter() - started)
+            )
+        else:
+            emit(
+                PointOutcome(
+                    point=point,
+                    status="done",
+                    served_from=handle.served_from,
+                    payload=payload,
+                    elapsed=time.perf_counter() - started,
+                )
+            )
+
+
+# --------------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------------- #
+def execute_sweep(
+    compiled: CompiledSweep,
+    *,
+    jobs: int = 1,
+    cache=None,
+    client=None,
+    priority: int = 0,
+    timeout: float | None = 300.0,
+    progress: ProgressCallback | None = None,
+) -> SweepRun:
+    """Run every point of a compiled sweep and return the outcomes.
+
+    Parameters
+    ----------
+    jobs:
+        Local worker processes (ignored when ``client`` is given).
+    cache:
+        A :class:`~repro.api.cache.RunCache` or
+        :class:`~repro.service.store.ResultStore` consulted/filled per point
+        (local path only; the service brings its own store).
+    client:
+        A :class:`~repro.service.client.ServiceClient`; when given, points
+        are fanned out through the running service instead of in-process.
+    priority / timeout:
+        Service-path submission priority and per-point wait deadline.
+    progress:
+        ``callback(outcome, completed, total)`` fired as each point settles.
+    """
+    if jobs < 1:
+        raise SweepError("jobs must be at least 1")
+    total = len(compiled.points)
+    by_id: dict[str, PointOutcome] = {}
+
+    def emit(outcome: PointOutcome) -> None:
+        by_id[outcome.point.point_id] = outcome
+        if progress is not None:
+            progress(outcome, len(by_id), total)
+
+    started = time.perf_counter()
+    if client is not None:
+        _execute_via_service(
+            compiled, client=client, priority=priority, timeout=timeout, emit=emit
+        )
+        via = getattr(client, "base_url", "service")
+    else:
+        _execute_local(compiled, jobs=jobs, cache=cache, emit=emit)
+        via = "local"
+
+    outcomes = [by_id[point.point_id] for point in compiled.points]
+    return SweepRun(
+        compiled=compiled,
+        outcomes=outcomes,
+        via=via,
+        elapsed=time.perf_counter() - started,
+    )

@@ -1,0 +1,152 @@
+"""Machine- and human-readable artifacts of one executed sweep.
+
+Three files land in the output directory (the ARTIFACTS.md pattern: every
+number regenerable, every result content-hashed):
+
+* ``sweep.json`` — the machine-readable manifest: spec identity, how each
+  point was served, the per-point ledger (parameters, request content hash,
+  result SHA-256) and the aggregated distribution rows.  The ledger carries
+  no timestamps, so a warm re-run of the same spec on the same code version
+  produces an identical ledger — byte-for-byte — which is the cheap
+  end-to-end check that the store, the compiler and the engine still agree;
+* ``ledger.sha256`` — the result hashes alone, one ``<sha256>  <point-id>``
+  line per point (``sha256sum``-style), for quick diffing;
+* ``SUMMARY.md`` — the human-readable report: outcome counts, aggregate
+  statistics tables and any failures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sweep.aggregate import AggregateRow
+from repro.sweep.executor import SweepRun
+
+__all__ = ["ledger_entries", "render_summary", "sweep_manifest", "write_manifest"]
+
+#: sweep.json schema version (bump on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+
+def ledger_entries(run: SweepRun) -> list[dict]:
+    """The per-point ledger: parameters, hashes and serving path, in point order."""
+    entries = []
+    for outcome in run.outcomes:
+        point = outcome.point
+        entries.append(
+            {
+                "point": point.point_id,
+                "label": point.label,
+                "params": point.params,
+                "status": outcome.status,
+                "served_from": outcome.served_from,
+                "result_sha256": outcome.result_sha256(),
+                "error": outcome.error,
+            }
+        )
+    return entries
+
+
+def _aggregate_documents(rows: list[AggregateRow]) -> list[dict]:
+    return [
+        {
+            "label": row.label,
+            "params": row.params,
+            "n": row.n,
+            "failed": row.failed,
+            "metrics": row.metrics,
+        }
+        for row in rows
+    ]
+
+
+def sweep_manifest(run: SweepRun, rows: list[AggregateRow]) -> dict:
+    """The complete ``sweep.json`` document (deterministic, timestamp-free)."""
+    spec = run.spec
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "sweep": spec.name,
+        "description": spec.description,
+        "via": run.via,
+        "metrics": list(spec.metrics.select),
+        "percentiles": list(spec.metrics.percentiles),
+        "duplicates_dropped": run.compiled.duplicates,
+        "counts": run.counts(),
+        "ledger": ledger_entries(run),
+        "aggregates": _aggregate_documents(rows),
+    }
+
+
+def _format_cell(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def render_summary(run: SweepRun, rows: list[AggregateRow]) -> str:
+    """The human-readable ``SUMMARY.md`` body."""
+    spec = run.spec
+    counts = run.counts()
+    lines = [f"# Sweep: {spec.name}", ""]
+    if spec.description:
+        lines += [spec.description, ""]
+    lines += [
+        f"- points: **{counts['points']}** "
+        f"({run.compiled.duplicates} duplicate expansions dropped)",
+        f"- executed: {counts.get('executed', 0)} · store hits: {counts.get('store', 0)} "
+        f"· deduplicated: {counts.get('deduplicated', 0)} "
+        f"· coalesced: {counts.get('coalesced', 0)}",
+        f"- failed: {counts['failed']}",
+        f"- via: `{run.via}` · wall time: {run.elapsed:.2f}s",
+        "",
+    ]
+
+    stat_names = ["n", "mean", "median", "stdev", "min", "max"] + [
+        f"p{quantile:g}" for quantile in spec.metrics.percentiles
+    ]
+    for metric in spec.metrics.select:
+        relevant = [row for row in rows if metric in row.metrics]
+        if not relevant:
+            continue
+        lines += [f"## {metric}", ""]
+        header = ["group"] + stat_names
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for row in relevant:
+            cells = [row.label] + [
+                _format_cell(row.metrics[metric][name]) for name in stat_names
+            ]
+            lines.append("| " + " | ".join(str(cell) for cell in cells) + " |")
+        lines.append("")
+
+    failures = run.failures()
+    if failures:
+        lines += ["## Failures", ""]
+        for outcome in failures:
+            lines.append(f"- `{outcome.point.label}`: {outcome.error}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_manifest(run: SweepRun, rows: list[AggregateRow], out_dir: str | Path) -> dict:
+    """Write ``sweep.json``, ``ledger.sha256`` and ``SUMMARY.md``.
+
+    Returns ``{"sweep": path, "ledger": path, "summary": path}``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    manifest = sweep_manifest(run, rows)
+    paths = {
+        "sweep": out / "sweep.json",
+        "ledger": out / "ledger.sha256",
+        "summary": out / "SUMMARY.md",
+    }
+    paths["sweep"].write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    ledger_lines = [
+        f"{entry['result_sha256'] or '-' * 64}  {entry['point']}"
+        for entry in manifest["ledger"]
+    ]
+    paths["ledger"].write_text("\n".join(ledger_lines) + "\n")
+    paths["summary"].write_text(render_summary(run, rows))
+    return {name: str(path) for name, path in paths.items()}

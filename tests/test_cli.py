@@ -172,6 +172,71 @@ class TestServiceCommands:
         seen = {}
         monkeypatch.setattr(cli, "serve_main", lambda argv: seen.setdefault("serve", argv) and 0)
         monkeypatch.setattr(cli, "submit_main", lambda argv: seen.setdefault("submit", argv) and 0)
+        monkeypatch.setattr(cli, "sweep_main", lambda argv: seen.setdefault("sweep", argv) and 0)
         assert cli.main(["serve", "--port", "0"]) == 0
         assert cli.main(["submit", "--no-wait"]) == 0
-        assert seen == {"serve": ["--port", "0"], "submit": ["--no-wait"]}
+        assert cli.main(["sweep", "spec.toml", "--quiet"]) == 0
+        assert seen == {
+            "serve": ["--port", "0"],
+            "submit": ["--no-wait"],
+            "sweep": ["spec.toml", "--quiet"],
+        }
+
+
+class TestSweepCommand:
+    SPEC = """\
+[sweep]
+name = "cli-mini"
+
+[request]
+machine = "reference"
+mode = "single"
+scale = 0.05
+
+[axes]
+workload = ["tomcatv"]
+memory_latency = [1, 50]
+
+[metrics]
+select = ["cycles"]
+"""
+
+    def test_sweep_runs_spec_and_writes_manifest(self, tmp_path, capsys):
+        from repro.cli import sweep_main
+
+        spec_path = tmp_path / "mini.toml"
+        spec_path.write_text(self.SPEC)
+        out_dir = tmp_path / "out"
+        code = sweep_main([str(spec_path), "--out", str(out_dir)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "[1/2]" in captured and "[2/2]" in captured
+        assert "2 points" in captured
+        assert (out_dir / "sweep.json").exists()
+        assert (out_dir / "ledger.sha256").exists()
+        assert (out_dir / "SUMMARY.md").exists()
+
+    def test_sweep_quiet_suppresses_progress(self, tmp_path, capsys):
+        from repro.cli import sweep_main
+
+        spec_path = tmp_path / "mini.toml"
+        spec_path.write_text(self.SPEC)
+        assert sweep_main([str(spec_path), "--quiet"]) == 0
+        assert "[1/2]" not in capsys.readouterr().out
+
+    def test_sweep_missing_spec_is_an_error(self, tmp_path, capsys):
+        from repro.cli import sweep_main
+
+        assert sweep_main([str(tmp_path / "no-such-spec.toml")]) == 1
+        assert "cannot read sweep spec" in capsys.readouterr().err
+
+    def test_sweep_failed_points_exit_nonzero(self, tmp_path, capsys):
+        from repro.cli import sweep_main
+
+        spec_path = tmp_path / "broken.toml"
+        spec_path.write_text(
+            self.SPEC.replace('machine = "reference"', 'machine = "no-such-machine"')
+        )
+        code = sweep_main([str(spec_path), "--quiet"])
+        assert code == 1
+        assert "no-such-machine" in capsys.readouterr().err

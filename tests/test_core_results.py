@@ -58,7 +58,7 @@ class TestSimulationResult:
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_top_level_exports(self):
         for name in (
@@ -72,10 +72,15 @@ class TestPackageSurface:
             "build_suite",
             "build_workload",
             "simulate_program",
+            "SweepSpec",
+            "load_sweep_spec",
+            "run_sweep",
+            "execute_sweep",
         ):
             assert hasattr(repro, name), f"missing top-level export {name}"
 
     def test_error_hierarchy(self):
+        assert issubclass(repro.SweepError, repro.ReproError)
         assert issubclass(repro.IsaError, repro.ReproError)
         assert issubclass(repro.SimulationError, repro.ReproError)
         assert issubclass(repro.WorkloadError, repro.ReproError)

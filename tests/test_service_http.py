@@ -223,6 +223,120 @@ class TestServerLifecycle:
             )
 
 
+class TestLongPoll:
+    def test_follow_on_finished_job_returns_immediately(self, client):
+        handle = client.submit("reference", {"benchmark": "tomcatv", "scale": SCALE})
+        handle.wait(timeout=120.0)
+        info = client._call(f"/jobs/{handle.job_id}?follow=1&wait=30")
+        assert info["state"] == "done"
+
+    def test_follow_timeout_reports_current_state(self, tmp_path):
+        service = SimulationService(store=ResultStore(tmp_path), workers=1, paused=True)
+        with ServiceServer(service, port=0) as server:
+            client = ServiceClient(server.url)
+            handle = client.submit("reference", {"benchmark": "tomcatv", "scale": SCALE})
+            import time
+
+            started = time.monotonic()
+            info = client._call(f"/jobs/{handle.job_id}?follow=1&wait=0.3")
+            elapsed = time.monotonic() - started
+            assert info["state"] == "queued"  # bounded wait, then current state
+            assert 0.2 <= elapsed < 5.0
+
+    def test_follow_blocks_until_completion(self, tmp_path):
+        import threading
+
+        service = SimulationService(store=ResultStore(tmp_path), workers=1, paused=True)
+        with ServiceServer(service, port=0) as server:
+            client = ServiceClient(server.url)
+            handle = client.submit("reference", {"benchmark": "tomcatv", "scale": SCALE})
+            timer = threading.Timer(0.2, service.resume)
+            timer.start()
+            try:
+                info = client._call(
+                    f"/jobs/{handle.job_id}?follow=1&wait=20", timeout=60.0
+                )
+            finally:
+                timer.cancel()
+            assert info["state"] == "done"
+            assert "result_pickle" in info
+
+    def test_bad_wait_value_400(self, client):
+        handle = client.submit("reference", {"benchmark": "tomcatv", "scale": SCALE})
+        handle.wait(timeout=120.0)
+        with pytest.raises(ServiceError, match="400"):
+            client._call(f"/jobs/{handle.job_id}?follow=1&wait=soon")
+
+    def test_follow_unknown_job_404(self, client):
+        with pytest.raises(ServiceError, match="404"):
+            client._call("/jobs/no-such-job?follow=1&wait=1")
+
+    def test_service_poll_unknown_id_is_none(self, server):
+        assert server.service.poll("no-such-job", timeout=0.0) is None
+
+
+class TestMetricsEndpoint:
+    def test_plaintext_counters(self, client):
+        client.submit("reference", {"benchmark": "tomcatv", "scale": SCALE}).wait(
+            timeout=120.0
+        )
+        text = client.metrics()
+        lines = dict(line.split(" ", 1) for line in text.strip().splitlines())
+        assert int(lines["repro_submitted_total"]) >= 1
+        assert "repro_store_hit_rate" in lines
+        assert "repro_coalesce_rate" in lines
+        assert "repro_queue_pending" in lines
+        assert int(lines["repro_store_entries"]) >= 1
+
+    def test_rates_derived_from_counters(self, client):
+        text = client.metrics()
+        lines = dict(line.split(" ", 1) for line in text.strip().splitlines())
+        submitted = int(lines["repro_submitted_total"])
+        hits = int(lines["repro_store_hits_total"])
+        assert float(lines["repro_store_hit_rate"]) == pytest.approx(
+            hits / submitted, rel=1e-6
+        )
+
+    def test_render_metrics_without_store(self):
+        from repro.service import render_metrics
+
+        text = render_metrics({"submitted": 0, "paused": True})
+        assert "repro_store_hit_rate 0" in text
+        assert "repro_paused 1" in text
+        assert "repro_store_entries" not in text
+
+
+class TestClientRetries:
+    def test_dead_server_exhausts_retry_budget(self):
+        import time
+
+        client = ServiceClient(
+            "http://127.0.0.1:9", timeout=0.5, retries=2, retry_interval=0.05
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceError, match="after 3 attempt"):
+            client.healthz()
+        assert time.monotonic() - started >= 0.1  # two retry sleeps happened
+
+    def test_http_errors_are_not_retried(self, client, monkeypatch):
+        calls = {"n": 0}
+        original = urllib.request.urlopen
+
+        def counting(request, timeout=None):
+            calls["n"] += 1
+            return original(request, timeout=timeout)
+
+        monkeypatch.setattr(urllib.request, "urlopen", counting)
+        with pytest.raises(ServiceError, match="404"):
+            client.job("no-such-job")
+        assert calls["n"] == 1
+
+    def test_zero_retries_single_attempt(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.3, retries=0)
+        with pytest.raises(ServiceError, match="after 1 attempt"):
+            client.healthz()
+
+
 class TestClientDetails:
     def test_submit_with_instruction_limit_and_tag(self, client):
         handle = client.submit(

@@ -1,0 +1,160 @@
+"""Tests for the statistical aggregator: distributions, repetition groups,
+metric resolution and pivot tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Machine
+from repro.errors import SweepError
+from repro.sweep import (
+    MetricsSpec,
+    Repetitions,
+    RequestTemplate,
+    SweepAxis,
+    SweepSpec,
+    aggregate_run,
+    compile_sweep,
+    distribution,
+    execute_sweep,
+    metric_value,
+    pivot_table,
+)
+from repro.workloads import build_benchmark
+
+REQUEST = RequestTemplate(machine="reference", mode="single", scale=0.05)
+
+
+def run_sweep_spec(**overrides):
+    fields = {
+        "name": "agg",
+        "request": REQUEST,
+        "axes": (
+            SweepAxis(name="workload", values=("tomcatv",)),
+            SweepAxis(name="memory_latency", values=(1, 50)),
+        ),
+        "metrics": MetricsSpec(select=("cycles",), percentiles=(50.0,)),
+    }
+    fields.update(overrides)
+    spec = SweepSpec(**fields)
+    return execute_sweep(compile_sweep(spec))
+
+
+class TestDistribution:
+    def test_known_sample(self):
+        stats = distribution([4.0, 1.0, 3.0, 2.0], percentiles=(50.0, 100.0))
+        assert stats["n"] == 4
+        assert stats["mean"] == 2.5
+        assert stats["median"] == 2.5
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+        assert stats["p50"] == 2.5
+        assert stats["p100"] == 4.0
+        assert stats["stdev"] == pytest.approx(1.2909944, rel=1e-6)
+
+    def test_single_value_sample(self):
+        stats = distribution([7.0], percentiles=(90.0,))
+        assert stats["stdev"] == 0.0
+        assert stats["p90"] == 7.0
+
+    def test_percentile_interpolates(self):
+        stats = distribution([0.0, 10.0], percentiles=(25.0,))
+        assert stats["p25"] == 2.5
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(SweepError, match="empty sample"):
+            distribution([])
+
+
+class TestMetricValue:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Machine.named("reference").run(build_benchmark("tomcatv", scale=0.05))
+
+    def test_headline_properties(self, result):
+        assert metric_value(result, "cycles") == float(result.cycles)
+        assert metric_value(result, "vopc") == pytest.approx(result.vopc)
+
+    def test_counter_fallback(self, result):
+        counters = result.counters()
+        name = sorted(counters)[0]
+        assert metric_value(result, name) == float(counters[name])
+
+    def test_unknown_metric_raises_with_suggestions(self, result):
+        with pytest.raises(SweepError, match="unknown metric"):
+            metric_value(result, "bogus_metric")
+
+
+class TestAggregateRun:
+    def test_groups_by_repetition(self):
+        run = run_sweep_spec(repetitions=Repetitions(count=3))
+        rows = aggregate_run(run)
+        assert len(rows) == 2  # two latencies; reps collapse into groups
+        for row in rows:
+            assert row.n == 3
+            assert row.failed == 0
+            assert row.metrics["cycles"]["stdev"] == 0.0  # deterministic engine
+            assert "p50" in row.metrics["cycles"]
+
+    def test_row_label_and_stat_accessor(self):
+        rows = aggregate_run(run_sweep_spec())
+        labels = {row.label for row in rows}
+        assert labels == {"memory_latency=1", "memory_latency=50"}
+        row = rows[0]
+        assert row.stat("cycles") == row.metrics["cycles"]["mean"]
+        with pytest.raises(SweepError, match="has no"):
+            row.stat("cycles", "p99")
+
+    def test_failed_points_counted_not_aggregated(self):
+        run = run_sweep_spec(
+            axes=(
+                SweepAxis(name="machine", values=("reference", "no-such-machine")),
+                SweepAxis(name="workload", values=("tomcatv",)),
+            ),
+            request=RequestTemplate(mode="single", scale=0.05),
+        )
+        rows = aggregate_run(run)
+        by_machine = {row.params["machine"]: row for row in rows}
+        assert by_machine["reference"].n == 1
+        assert by_machine["no-such-machine"].n == 0
+        assert by_machine["no-such-machine"].failed == 1
+        assert "cycles" not in by_machine["no-such-machine"].metrics
+
+    def test_metric_override(self):
+        run = run_sweep_spec()
+        rows = aggregate_run(run, metrics=("instructions",), percentiles=())
+        assert set(rows[0].metrics) == {"instructions"}
+        assert "p50" not in rows[0].metrics["instructions"]
+
+
+class TestPivot:
+    def test_cross_tabulation(self):
+        run = run_sweep_spec(
+            axes=(
+                SweepAxis(name="workload", values=("tomcatv", "swm256")),
+                SweepAxis(name="memory_latency", values=(1, 50)),
+            )
+        )
+        rows = aggregate_run(run)
+        table = pivot_table(rows, index="workload", columns="memory_latency", metric="cycles")
+        assert set(table["index"]) == {"tomcatv", "swm256"}
+        assert table["columns"] == [1, 50]
+        assert len(table["cells"]) == 4
+        assert all(value > 0 for value in table["cells"].values())
+
+    def test_ambiguous_cell_raises(self):
+        run = run_sweep_spec(
+            axes=(
+                SweepAxis(name="workload", values=("tomcatv", "swm256")),
+                SweepAxis(name="memory_latency", values=(1, 50)),
+            )
+        )
+        rows = aggregate_run(run)
+        for row in rows:
+            row.params["constant"] = 1  # collapse every group onto one cell
+        with pytest.raises(SweepError, match="ambiguous"):
+            pivot_table(rows, index="constant", columns="constant", metric="cycles")
+
+    def test_missing_parameters_skipped(self):
+        rows = aggregate_run(run_sweep_spec())
+        table = pivot_table(rows, index="nope", columns="memory_latency", metric="cycles")
+        assert table["cells"] == {}

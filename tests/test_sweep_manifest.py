@@ -1,0 +1,158 @@
+"""Tests for the manifest writer: sweep.json, the SHA-256 ledger and the
+human-readable summary — and the acceptance criterion that a warm re-run
+produces a byte-identical ledger."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import ResultStore
+from repro.sweep import (
+    MetricsSpec,
+    RequestTemplate,
+    SweepAxis,
+    SweepSpec,
+    aggregate_run,
+    compile_sweep,
+    execute_sweep,
+    ledger_entries,
+    render_summary,
+    run_sweep,
+    sweep_manifest,
+    write_manifest,
+)
+
+SPEC = SweepSpec(
+    name="manifest-check",
+    description="two latencies, one benchmark",
+    request=RequestTemplate(machine="reference", mode="single", scale=0.05),
+    axes=(
+        SweepAxis(name="workload", values=("tomcatv",)),
+        SweepAxis(name="memory_latency", values=(1, 50)),
+    ),
+    metrics=MetricsSpec(select=("cycles",), percentiles=(50.0,)),
+)
+
+
+@pytest.fixture(scope="module")
+def executed():
+    run = execute_sweep(compile_sweep(SPEC))
+    return run, aggregate_run(run)
+
+
+class TestManifestDocument:
+    def test_ledger_entry_shape(self, executed):
+        run, _ = executed
+        entries = ledger_entries(run)
+        assert len(entries) == 2
+        for entry in entries:
+            assert entry["point"].startswith("pt-")
+            assert entry["status"] == "done"
+            assert entry["served_from"] == "executed"
+            assert len(entry["result_sha256"]) == 64
+            assert entry["error"] is None
+
+    def test_document_is_timestamp_free(self, executed):
+        run, rows = executed
+        document = sweep_manifest(run, rows)
+        text = json.dumps(document)
+        assert "elapsed" not in text and "time" not in text.lower()
+        assert document["sweep"] == "manifest-check"
+        assert document["counts"]["points"] == 2
+        assert len(document["aggregates"]) == 2
+
+    def test_summary_renders_counts_and_tables(self, executed):
+        run, rows = executed
+        summary = render_summary(run, rows)
+        assert "# Sweep: manifest-check" in summary
+        assert "points: **2**" in summary
+        assert "## cycles" in summary
+        assert "memory_latency=1" in summary
+        assert "Failures" not in summary
+
+    def test_summary_lists_failures(self):
+        spec = SweepSpec(
+            name="partial",
+            request=RequestTemplate(mode="single", scale=0.05),
+            axes=(
+                SweepAxis(name="machine", values=("reference", "no-such-machine")),
+                SweepAxis(name="workload", values=("tomcatv",)),
+            ),
+        )
+        run = execute_sweep(compile_sweep(spec))
+        summary = render_summary(run, aggregate_run(run))
+        assert "## Failures" in summary
+        assert "no-such-machine" in summary
+
+
+class TestWrittenArtifacts:
+    def test_three_files_written(self, executed, tmp_path):
+        run, rows = executed
+        paths = write_manifest(run, rows, tmp_path / "out")
+        assert set(paths) == {"sweep", "ledger", "summary"}
+        document = json.loads((tmp_path / "out" / "sweep.json").read_text())
+        assert document["manifest_version"] == 1
+        ledger = (tmp_path / "out" / "ledger.sha256").read_text().splitlines()
+        assert len(ledger) == 2
+        for line in ledger:
+            digest, point_id = line.split()
+            assert len(digest) == 64 and point_id.startswith("pt-")
+
+    def test_failed_points_ledger_placeholder(self, tmp_path):
+        spec = SweepSpec(
+            name="partial",
+            request=RequestTemplate(mode="single", scale=0.05),
+            axes=(
+                SweepAxis(name="machine", values=("no-such-machine",)),
+                SweepAxis(name="workload", values=("tomcatv",)),
+            ),
+        )
+        run = execute_sweep(compile_sweep(spec))
+        write_manifest(run, aggregate_run(run), tmp_path)
+        ledger = (tmp_path / "ledger.sha256").read_text()
+        assert ledger.startswith("-" * 64)
+
+    def test_warm_rerun_ledger_is_byte_identical(self, tmp_path):
+        """Acceptance criterion: warm re-run via the store reports hits and
+        reproduces sweep.json's ledger byte for byte."""
+        store = ResultStore(tmp_path / "store")
+        cold = run_sweep(SPEC, cache=store, out_dir=tmp_path / "cold")
+        assert cold.run.counts()["executed"] == 2
+        warm = run_sweep(SPEC, cache=store, out_dir=tmp_path / "warm")
+        assert warm.run.counts()["store"] == 2  # 100% store hits
+        cold_ledger = (tmp_path / "cold" / "ledger.sha256").read_bytes()
+        warm_ledger = (tmp_path / "warm" / "ledger.sha256").read_bytes()
+        assert cold_ledger == warm_ledger
+        # the full manifest differs only in how points were served
+        cold_doc = json.loads((tmp_path / "cold" / "sweep.json").read_text())
+        warm_doc = json.loads((tmp_path / "warm" / "sweep.json").read_text())
+        assert cold_doc["aggregates"] == warm_doc["aggregates"]
+        assert [e["result_sha256"] for e in cold_doc["ledger"]] == [
+            e["result_sha256"] for e in warm_doc["ledger"]
+        ]
+
+
+class TestRunSweepOrchestration:
+    def test_spec_object_path(self, tmp_path):
+        output = run_sweep(SPEC, out_dir=tmp_path)
+        assert output.failed == 0
+        assert output.rows and output.artifacts
+        assert (tmp_path / "SUMMARY.md").exists()
+
+    def test_spec_file_path(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "sweep": {"name": "from-file"},
+                    "request": {"machine": "reference", "mode": "single", "scale": 0.05},
+                    "axes": {"workload": ["tomcatv"], "memory_latency": [1]},
+                }
+            )
+        )
+        output = run_sweep(path)
+        assert output.compiled.spec.name == "from-file"
+        assert output.failed == 0
+        assert output.artifacts == {}

@@ -1,0 +1,86 @@
+"""Sweep execution through a running service: equivalence with the local
+path, warm-run store hits and ledger stability — the CI smoke criteria."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ResultStore, ServiceClient, ServiceServer, SimulationService
+from repro.sweep import (
+    MetricsSpec,
+    RequestTemplate,
+    SweepAxis,
+    SweepSpec,
+    compile_sweep,
+    execute_sweep,
+    ledger_entries,
+    run_sweep,
+)
+
+SPEC = SweepSpec(
+    name="service-sweep",
+    request=RequestTemplate(machine="reference", mode="single", scale=0.05),
+    axes=(
+        SweepAxis(name="workload", values=("tomcatv", "dyfesm")),
+        SweepAxis(name="memory_latency", values=(1, 50)),
+    ),
+    metrics=MetricsSpec(select=("cycles",), percentiles=(50.0,)),
+)
+
+
+@pytest.fixture(scope="module")
+def service_url(tmp_path_factory):
+    store = ResultStore(tmp_path_factory.mktemp("sweep-store"))
+    service = SimulationService(store=store, workers=2)
+    with ServiceServer(service, port=0) as server:
+        yield server.url
+
+
+class TestSweepViaService:
+    def test_cold_run_executes_and_reports_endpoint(self, service_url):
+        client = ServiceClient(service_url)
+        run = execute_sweep(compile_sweep(SPEC), client=client)
+        assert run.via == service_url
+        counts = run.counts()
+        assert counts["points"] == 4 and counts["failed"] == 0
+        assert counts.get("executed", 0) + counts.get("coalesced", 0) == 4
+
+    def test_warm_run_is_store_hits_with_identical_ledger(self, service_url):
+        client = ServiceClient(service_url)
+        warm = execute_sweep(compile_sweep(SPEC), client=client)
+        counts = warm.counts()
+        # acceptance criterion: >= 90% of points answered by the store
+        assert counts.get("store", 0) >= 0.9 * counts["points"]
+        # and the result hashes agree with a fresh local execution
+        local = execute_sweep(compile_sweep(SPEC))
+        assert [e["result_sha256"] for e in ledger_entries(warm)] == [
+            e["result_sha256"] for e in ledger_entries(local)
+        ]
+
+    def test_service_failures_isolated_per_point(self, service_url):
+        spec = SweepSpec(
+            name="partial",
+            request=RequestTemplate(mode="single", scale=0.05),
+            axes=(
+                SweepAxis(name="machine", values=("reference", "no-such-machine")),
+                SweepAxis(name="workload", values=("tomcatv",)),
+            ),
+        )
+        run = execute_sweep(compile_sweep(spec), client=ServiceClient(service_url))
+        counts = run.counts()
+        assert counts["failed"] == 1
+        assert counts.get("executed", 0) + counts.get("store", 0) == 1
+        assert "no-such-machine" in run.failures()[0].error
+
+    def test_run_sweep_via_service_writes_manifest(self, service_url, tmp_path):
+        output = run_sweep(SPEC, client=ServiceClient(service_url), out_dir=tmp_path)
+        assert output.failed == 0
+        assert (tmp_path / "ledger.sha256").exists()
+        assert output.run.via == service_url
+
+    def test_dead_service_fails_points_not_sweep(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.3, retries=0)
+        run = execute_sweep(compile_sweep(SPEC), client=client)
+        counts = run.counts()
+        assert counts["failed"] == counts["points"] == 4
+        assert all("cannot reach" in outcome.error for outcome in run.failures())
