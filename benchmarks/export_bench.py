@@ -19,7 +19,8 @@ With ``--check-against`` the freshly measured numbers are compared entry by
 entry against a previously committed baseline and the process exits non-zero
 when any single-run throughput — or the stats-finalize reduction rate of the
 columnar statistics pipeline, the scoreboard-hazard dispatch rate, or the
-cold/warm jobs-per-second of the simulation service round-trip —
+cold/warm jobs-per-second of the simulation service round-trip, or the
+shed-and-retry jobs-per-second of the overloaded service —
 dropped by more than ``--max-regression`` (default 30%).  Baselines are only
 written from a clean git tree (``--allow-dirty`` overrides, marking the
 recorded revision) and every entry records which scoreboard backend measured
@@ -421,6 +422,78 @@ def measure_service_roundtrip(repeats: int) -> list[dict]:
     return entries
 
 
+#: Jobs per repeat of the overload benchmark (distinct latencies, submitted
+#: concurrently against a deliberately small admission bound).
+SERVICE_OVERLOAD_JOBS = 6
+#: Queue-depth bound of the overload benchmark (small enough that the burst
+#: is guaranteed to trip admission control and exercise shed → backoff →
+#: retry on the client).
+SERVICE_OVERLOAD_MAX_PENDING = 2
+
+
+def measure_service_overload(repeats: int) -> list[dict]:
+    """Jobs/sec through an overloaded service: shed, back off, retry, land.
+
+    Boots the HTTP service with a deliberately small ``max_pending`` and
+    fires ``SERVICE_OVERLOAD_JOBS`` distinct submissions at it concurrently,
+    so part of every burst is answered ``429 + Retry-After`` and must be
+    re-submitted by the client's capped-exponential-backoff retry loop.  The
+    row therefore tracks the full resilience path — admission control, load
+    shedding, client backoff and eventual completion — not just the happy
+    path that ``service_roundtrip`` measures.  ``instrs_per_sec`` records
+    **jobs** per second.
+    """
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import ResultStore, ServiceClient, ServiceServer, SimulationService
+
+    documents = [
+        {
+            "machine": "reference",
+            "workloads": [{"benchmark": "tomcatv", "scale": SERVICE_SCALE}],
+            "options": {"memory_latency": latency},
+        }
+        for latency in range(10, 10 + SERVICE_OVERLOAD_JOBS)
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        service = SimulationService(
+            store=store, workers=2, max_pending=SERVICE_OVERLOAD_MAX_PENDING
+        )
+        with ServiceServer(service, port=0) as server:
+            # a short retry_interval keeps the backoff sleeps proportionate
+            # to these tiny jobs; the retry budget is generous enough that
+            # every shed job lands within one repeat
+            client = ServiceClient(server.url, retries=8, retry_interval=0.05)
+            pool = ThreadPoolExecutor(max_workers=SERVICE_OVERLOAD_JOBS)
+
+            def one_job(doc: dict) -> None:
+                handle = client.submit(doc["machine"], doc["workloads"], **doc["options"])
+                handle.wait(timeout=120.0)
+
+            def burst() -> None:
+                store.clear()
+                for future in [pool.submit(one_job, doc) for doc in documents]:
+                    future.result(timeout=120.0)
+
+            burst()  # spawn the worker pool outside the timed region
+            seconds = _time_run(burst, repeats)
+            shed = service.stats()["rejected"]
+            pool.shutdown(wait=True)
+    return [
+        {
+            "benchmark": "service_overload",
+            "model": "shed_retry",
+            "workload": f"jobs@{SERVICE_OVERLOAD_JOBS}",
+            "instructions": SERVICE_OVERLOAD_JOBS,
+            "seconds": round(seconds, 6),
+            "instrs_per_sec": round(SERVICE_OVERLOAD_JOBS / seconds, 1),
+            "rejected": shed,
+        }
+    ]
+
+
 def measure_batch_scaling(repeats: int) -> list[dict]:
     """Wall time of the fixed request list under 1, 2 and 4 worker processes."""
     suite = build_suite(scale=BATCH_SCALE)
@@ -460,6 +533,7 @@ def collect(repeats: int, *, dirty: bool = False) -> dict:
         + measure_stats_finalize(repeats)
         + measure_scoreboard_hazard(repeats)
         + measure_service_roundtrip(repeats)
+        + measure_service_overload(repeats)
         + measure_batch_scaling(repeats)
     )
     # every entry records which scoreboard path produced it, so a baseline
@@ -489,6 +563,7 @@ GATED_BENCHMARKS = (
     "stats_finalize",
     "scoreboard_hazard",
     "service_roundtrip",
+    "service_overload",
 )
 
 

@@ -90,7 +90,7 @@ from repro.sweep import (
 )
 from repro.workloads import build_benchmark, build_suite, build_workload
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AssemblyError",

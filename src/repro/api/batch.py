@@ -35,6 +35,7 @@ from repro.core.config import MachineConfig
 from repro.core.results import SimulationResult
 from repro.core.suppliers import Job
 from repro.errors import ConfigurationError
+from repro.faults import inject_slow_execute, inject_worker_crash
 from repro.trace.records import TraceSet
 from repro.workloads.program import Program
 
@@ -201,11 +202,18 @@ def _execute_request_to_bytes(request: SimulationRequest) -> bytes:
     a process boundary loses that sharing and changes the bytes — which is
     exactly what content-hashed ledgers and byte-compared stores must avoid.
     """
+    inject_slow_execute()
     return pickle.dumps(_execute_request(request), protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def _execute_pickled_to_bytes(payload: bytes) -> bytes:
-    """Worker-process entry point returning the pickled result (see above)."""
+    """Worker-process entry point returning the pickled result (see above).
+
+    The ``worker_crash`` fault hooks only this entry point — the process-pool
+    path — never the in-process thread path, so a crash-looping fault plan
+    still lets the service's thread failover complete the job.
+    """
+    inject_worker_crash()
     return _execute_request_to_bytes(pickle.loads(payload))
 
 

@@ -167,12 +167,26 @@ def serve_main(argv: Sequence[str]) -> int:
         "--duration", type=float, default=None, metavar="SECONDS",
         help="serve for a fixed time then exit (default: until interrupted)",
     )
+    parser.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="admission bound on distinct pending jobs (default: 256)",
+    )
+    parser.add_argument(
+        "--default-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget applied to jobs without their own (default: none)",
+    )
     args = parser.parse_args(argv)
 
     from repro.service import ResultStore, ServiceServer, SimulationService
+    from repro.service.core import DEFAULT_MAX_PENDING
 
     store = ResultStore(args.store_dir, max_bytes=int(args.max_store_mb * 1024 * 1024))
-    service = SimulationService(store=store, workers=args.workers)
+    service = SimulationService(
+        store=store,
+        workers=args.workers,
+        max_pending=args.max_pending if args.max_pending is not None else DEFAULT_MAX_PENDING,
+        default_timeout=args.default_timeout,
+    )
     with ServiceServer(service, host=args.host, port=args.port) as server:
         print(
             f"serving on {server.url} "
@@ -220,9 +234,14 @@ def submit_main(argv: Sequence[str]) -> int:
     parser.add_argument(
         "--timeout", type=float, default=300.0, help="wait timeout in seconds (default: 300)"
     )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="server-side wall-clock budget for the job (default: service default)",
+    )
     args = parser.parse_args(argv)
 
-    from repro.service import ServiceClient
+    from repro.errors import JobCancelled, JobTimeout
+    from repro.service import ServiceClient, ServiceError
 
     client = ServiceClient(args.url)
     options = {}
@@ -231,18 +250,28 @@ def submit_main(argv: Sequence[str]) -> int:
     workloads = [
         {"benchmark": name, "scale": args.scale} for name in args.benchmark
     ]
-    handle = client.submit(
-        args.machine,
-        workloads,
-        mode=args.mode,
-        priority=args.priority,
-        tag=args.tag,
-        **options,
-    )
-    print(f"job {handle.job_id} submitted (served_from: {handle.served_from})")
-    if args.no_wait:
-        return 0
-    result = handle.wait(timeout=args.timeout)
+    try:
+        handle = client.submit(
+            args.machine,
+            workloads,
+            mode=args.mode,
+            priority=args.priority,
+            tag=args.tag,
+            job_timeout=args.job_timeout,
+            **options,
+        )
+        print(f"job {handle.job_id} submitted (served_from: {handle.served_from})")
+        if args.no_wait:
+            return 0
+        result = handle.wait(timeout=args.timeout)
+    except ServiceError as error:
+        # an unreachable or refusing endpoint is an operational condition,
+        # not a bug: one line on stderr, no traceback
+        print(f"service error: {error}", file=sys.stderr)
+        return 2
+    except (JobCancelled, JobTimeout) as error:
+        print(f"job did not complete: {error}", file=sys.stderr)
+        return 2
     print(
         f"{args.machine}: {result.instructions} instructions in {result.cycles} cycles "
         f"({result.stop_reason})"
@@ -283,11 +312,17 @@ def sweep_main(argv: Sequence[str]) -> int:
         help="per-point wait timeout in seconds (default: 300)",
     )
     parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra submission rounds for failed service-path points (default: 1)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress lines"
     )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.retries < 0:
+        parser.error("--retries cannot be negative")
 
     from repro.errors import ReproError
     from repro.sweep import run_sweep
@@ -295,9 +330,16 @@ def sweep_main(argv: Sequence[str]) -> int:
     client = None
     cache = None
     if args.via_service is not None:
-        from repro.service import ServiceClient
+        from repro.service import ServiceClient, ServiceError
 
         client = ServiceClient(args.via_service)
+        try:
+            # probe liveness up front: a dead endpoint fails the whole sweep
+            # in one line instead of per-point tracebacks
+            client.healthz()
+        except ServiceError as error:
+            print(f"service error: {error}", file=sys.stderr)
+            return 2
     elif args.store_dir is not None:
         from repro.service import ResultStore
 
@@ -315,6 +357,7 @@ def sweep_main(argv: Sequence[str]) -> int:
             client=client,
             priority=args.priority,
             timeout=args.timeout,
+            service_retries=args.retries,
             out_dir=args.out,
             progress=None if args.quiet else progress,
         )

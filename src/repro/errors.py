@@ -36,6 +36,27 @@ class SimulationError(ReproError):
     """Raised when the simulator reaches an impossible or corrupt state."""
 
 
+class JobTimeout(SimulationError):
+    """Raised when a service job exceeds its wall-clock timeout budget."""
+
+
+class JobCancelled(SimulationError):
+    """Raised when a service job was cancelled before it could complete."""
+
+
+class ServiceOverloadedError(SimulationError):
+    """Raised when the service sheds load instead of accepting a submission.
+
+    Carries the server's ``retry_after`` hint (seconds) — the HTTP layer maps
+    this to ``429`` with a ``Retry-After`` header, and well-behaved clients
+    back off at least that long before retrying.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment specification cannot be satisfied."""
 

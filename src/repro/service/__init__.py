@@ -11,8 +11,17 @@ The scale layer on top of the :class:`~repro.api.machine.Machine` facade:
   drop-in ``cache=`` for :class:`~repro.api.machine.Machine`);
 * :class:`ServiceServer` — stdlib JSON-over-HTTP front end
   (``POST /jobs``, ``GET /jobs/<id>`` with ``?follow=1`` long-polling,
-  ``GET /stats``, ``GET /metrics``, ``GET /healthz``);
-* :class:`ServiceClient` — Python client mirroring the ``Machine`` facade.
+  ``DELETE /jobs/<id>``, ``GET /stats``, ``GET /metrics``, ``GET /healthz``);
+* :class:`ServiceClient` — Python client mirroring the ``Machine`` facade,
+  with capped-exponential-backoff retries that honour ``Retry-After``.
+
+The stack carries a resilience layer throughout: admission control sheds
+submissions past the queue-depth/queued-bytes bounds (HTTP ``429``), worker
+crashes respawn the pool and re-dispatch under a bounded retry budget (thread
+failover past it), jobs carry wall-clock timeouts and can be cancelled while
+queued, and the store quarantines corrupt entries instead of re-parsing them.
+The deterministic fault-injection hooks driving the chaos tests live in
+:mod:`repro.faults`.
 
 Quick start::
 
@@ -30,7 +39,7 @@ deduplicates and stores what the engine produces, it never touches it.
 from repro.service.client import JobHandle, ServiceClient, ServiceError
 from repro.service.core import SimulationService
 from repro.service.http import ServiceServer, render_metrics
-from repro.service.jobs import JobRecord, JobState
+from repro.service.jobs import TERMINAL_STATES, JobRecord, JobState
 from repro.service.queue import CoalescingPriorityQueue
 from repro.service.specs import parse_job_document, workload_from_spec
 from repro.service.store import ResultStore, code_fingerprint, key_digest
@@ -45,6 +54,7 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "SimulationService",
+    "TERMINAL_STATES",
     "code_fingerprint",
     "key_digest",
     "parse_job_document",

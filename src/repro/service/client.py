@@ -20,6 +20,7 @@ from __future__ import annotations
 import base64
 import json
 import pickle
+import random
 import time
 import urllib.error
 import urllib.request
@@ -27,13 +28,30 @@ from dataclasses import dataclass
 
 from repro.api.batch import SimulationRequest
 from repro.core.results import SimulationResult
-from repro.errors import ReproError, SimulationError
+from repro.errors import JobCancelled, JobTimeout, ReproError, SimulationError
+from repro.faults import inject_conn_reset
 
 __all__ = ["JobHandle", "ServiceClient", "ServiceError"]
 
+#: HTTP statuses that mean "try again shortly", not "the request is wrong":
+#: 429 is admission-control load shedding, 503 a restarting server.
+RETRYABLE_STATUSES = (429, 503)
+
+#: Job states a waiting client treats as terminal.
+TERMINAL_JOB_STATES = ("done", "failed", "cancelled", "timeout")
+
 
 class ServiceError(ReproError):
-    """Raised when the service answers with an error or cannot be reached."""
+    """Raised when the service answers with an error or cannot be reached.
+
+    ``status`` carries the HTTP status code when the server answered
+    (``None`` for connection-level failures), so callers can distinguish
+    "the service said no" from "there is no service there".
+    """
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 @dataclass(frozen=True)
@@ -56,6 +74,30 @@ class JobHandle:
         """The raw result pickle (byte-identical across coalesced waiters)."""
         return self.client.result_bytes(self.job_id, timeout=timeout)
 
+    def cancel(self) -> bool:
+        """Cancel this job if it is still queued; ``True`` when it was."""
+        return self.client.cancel(self.job_id)
+
+
+def _retry_after_hint(error: urllib.error.HTTPError, raw: bytes) -> float | None:
+    """The server's retry hint for a shed request, in seconds (or ``None``).
+
+    Prefers the JSON body's fractional ``retry_after`` over the integral
+    ``Retry-After`` header; ignores the HTTP-date header form (the service
+    never sends it, and a clock-skewed date is worse than no hint).
+    """
+    try:
+        hint = json.loads(raw).get("retry_after")
+        if isinstance(hint, (int, float)) and not isinstance(hint, bool) and hint >= 0:
+            return float(hint)
+    except Exception:
+        pass
+    header = error.headers.get("Retry-After") if error.headers is not None else None
+    try:
+        return max(0.0, float(header)) if header is not None else None
+    except ValueError:
+        return None
+
 
 #: Seconds of server-side long-poll requested per ``?follow=1`` round trip.
 #: Kept under the server's ``MAX_FOLLOW_WAIT`` cap; the per-call socket
@@ -68,12 +110,16 @@ class ServiceClient:
     """HTTP client for one running simulation service.
 
     Every HTTP round trip runs under a per-call socket ``timeout`` and a
-    bounded retry budget: up to ``retries`` extra attempts (spaced
-    ``retry_interval`` seconds apart) on *connection-level* failures — a
-    dead or restarting server — before a :class:`ServiceError` is raised.
-    HTTP-level errors (4xx/5xx answers) are never retried; the server spoke,
-    it just said no.  The client therefore cannot hang indefinitely: the
-    worst case is ``(retries + 1) × timeout`` per call.
+    bounded retry budget: up to ``retries`` extra attempts on *transient*
+    failures — connection-level errors (a dead or restarting server) and the
+    retryable HTTP answers ``429`` (load shed) and ``503``.  Attempts are
+    spaced by capped exponential backoff with full jitter, seeded from
+    ``retry_interval``; a server-provided ``Retry-After`` (or the JSON
+    ``retry_after`` field of a 429 body) raises the floor of the next delay.
+    Other HTTP errors (400, 404, 409, 500…) are never retried; the server
+    spoke, it just said no.  The client therefore cannot hang indefinitely:
+    the worst case is ``(retries + 1) × timeout`` plus the bounded backoff
+    sleeps per call.
     """
 
     def __init__(
@@ -83,37 +129,76 @@ class ServiceClient:
         timeout: float = 30.0,
         retries: int = 2,
         retry_interval: float = 0.2,
+        backoff_cap: float = 5.0,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.retry_interval = max(0.0, retry_interval)
+        self.backoff_cap = max(self.retry_interval, backoff_cap)
 
     # -- transport ------------------------------------------------------- #
-    def _fetch(self, path: str, body: dict | None = None, timeout: float | None = None) -> bytes:
+    def _backoff_delay(self, attempt: int, floor: float | None) -> float:
+        """Sleep before retry ``attempt``: capped exponential, full jitter.
+
+        ``floor`` is the server's ``Retry-After`` hint, honoured as a lower
+        bound — backing off *less* than the server asked for would turn the
+        retry into another shed request.
+        """
+        delay = min(self.backoff_cap, self.retry_interval * (2.0 ** attempt))
+        delay *= random.uniform(0.5, 1.0)  # jitter: desynchronize retry herds
+        if floor is not None:
+            delay = max(delay, floor)
+        return delay
+
+    def _fetch(
+        self,
+        path: str,
+        body: dict | None = None,
+        timeout: float | None = None,
+        method: str | None = None,
+    ) -> bytes:
         request = urllib.request.Request(
             self.base_url + path,
             data=None if body is None else json.dumps(body).encode(),
             headers={"Content-Type": "application/json"},
-            method="GET" if body is None else "POST",
+            method=method or ("GET" if body is None else "POST"),
         )
         last_error: Exception | None = None
+        last_status: int | None = None
         for attempt in range(self.retries + 1):
+            retry_after: float | None = None
             try:
+                inject_conn_reset()
                 with urllib.request.urlopen(
                     request, timeout=self.timeout if timeout is None else timeout
                 ) as response:
                     return response.read()
             except urllib.error.HTTPError as error:
+                raw = error.read()
                 try:
-                    message = json.loads(error.read()).get("error", str(error))
+                    message = json.loads(raw).get("error", str(error))
                 except Exception:
                     message = str(error)
-                raise ServiceError(f"{path}: HTTP {error.code}: {message}") from None
+                if error.code not in RETRYABLE_STATUSES:
+                    raise ServiceError(
+                        f"{path}: HTTP {error.code}: {message}", status=error.code
+                    ) from None
+                retry_after = _retry_after_hint(error, raw)
+                last_error = ServiceError(
+                    f"{path}: HTTP {error.code}: {message}", status=error.code
+                )
+                last_status = error.code
             except (urllib.error.URLError, OSError) as error:
                 last_error = error
-                if attempt < self.retries:
-                    time.sleep(self.retry_interval)
+                last_status = None
+            if attempt < self.retries:
+                time.sleep(self._backoff_delay(attempt, retry_after))
+        if isinstance(last_error, ServiceError):
+            raise ServiceError(
+                f"{last_error} (gave up after {self.retries + 1} attempt(s))",
+                status=last_status,
+            ) from None
         raise ServiceError(
             f"cannot reach {self.base_url} after {self.retries + 1} attempt(s): {last_error}"
         ) from None
@@ -132,12 +217,15 @@ class ServiceClient:
         restart_companions: bool = True,
         priority: int = 0,
         tag: str | None = None,
+        job_timeout: float | None = None,
         **options,
     ) -> JobHandle:
         """Submit one simulation, mirroring the :class:`Machine` facade.
 
         ``workloads`` is one workload or a sequence; each may be a benchmark
         name, a JSON spec object, or a real in-memory workload object.
+        ``job_timeout`` is the job's server-side wall-clock budget in seconds
+        (distinct from this client's per-call socket ``timeout``).
         """
         if isinstance(workloads, (str, dict)) or not isinstance(workloads, (list, tuple)):
             workloads = [workloads]
@@ -156,6 +244,8 @@ class ServiceClient:
                 document["options"] = options
             if tag is not None:
                 document["tag"] = tag
+            if job_timeout is not None:
+                document["timeout"] = job_timeout
             return self._submitted(self._call("/jobs", document))
         # mixed lists (names/specs next to in-memory objects) take the pickled
         # path too: materialize the declarative entries locally first
@@ -175,10 +265,14 @@ class ServiceClient:
             options=tuple(sorted(options.items())),
             tag=tag,
         )
-        return self.submit_request(request, priority=priority)
+        return self.submit_request(request, priority=priority, job_timeout=job_timeout)
 
     def submit_request(
-        self, request: SimulationRequest, *, priority: int = 0
+        self,
+        request: SimulationRequest,
+        *,
+        priority: int = 0,
+        job_timeout: float | None = None,
     ) -> JobHandle:
         """Submit a fully-built request (shipped as a pickled payload)."""
         try:
@@ -191,6 +285,8 @@ class ServiceClient:
             "request_pickle": base64.b64encode(payload).decode("ascii"),
             "priority": priority,
         }
+        if job_timeout is not None:
+            document["timeout"] = job_timeout
         return self._submitted(self._call("/jobs", document))
 
     def _submitted(self, answer: dict) -> JobHandle:
@@ -202,6 +298,21 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         """Status document of one job (404 raises :class:`ServiceError`)."""
         return self._call(f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job (``DELETE /jobs/<id>``).
+
+        Returns ``True`` when the job was cancelled, ``False`` when it is
+        already running or finished (the server's ``409``); unknown job ids
+        raise :class:`ServiceError`.
+        """
+        try:
+            self._fetch(f"/jobs/{job_id}", method="DELETE")
+        except ServiceError as error:
+            if error.status == 409:
+                return False
+            raise
+        return True
 
     def _finished_info(self, job_id: str, timeout: float | None, poll_interval: float) -> dict:
         """Wait for a terminal state, long-polling instead of busy-polling.
@@ -222,7 +333,7 @@ class ServiceClient:
                 f"/jobs/{job_id}?follow=1&wait={wait:g}",
                 timeout=self.timeout + wait,
             )
-            if info["state"] in ("done", "failed"):
+            if info["state"] in TERMINAL_JOB_STATES:
                 return info
             if deadline is not None and time.monotonic() >= deadline:
                 raise ServiceError(
@@ -235,8 +346,18 @@ class ServiceClient:
     def result_bytes(
         self, job_id: str, timeout: float | None = 60.0, poll_interval: float = 0.05
     ) -> bytes:
-        """Poll until done and return the raw result pickle bytes."""
+        """Poll until done and return the raw result pickle bytes.
+
+        Raises the job's typed terminal error — :class:`~repro.errors.JobTimeout`
+        for a job that blew its wall-clock budget, :class:`~repro.errors.JobCancelled`
+        for a cancelled one, plain :class:`~repro.errors.SimulationError` for a
+        failed one.
+        """
         info = self._finished_info(job_id, timeout, poll_interval)
+        if info["state"] == "timeout":
+            raise JobTimeout(f"job {job_id} timed out: {info.get('error')}")
+        if info["state"] == "cancelled":
+            raise JobCancelled(f"job {job_id} was cancelled")
         if info["state"] == "failed":
             raise SimulationError(f"job {job_id} failed: {info['error']}")
         return base64.b64decode(info["result_pickle"])

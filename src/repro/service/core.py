@@ -18,6 +18,23 @@ Results are **cycle-identical** to :meth:`repro.api.machine.Machine.run`: the
 service never touches the engine, it only schedules, deduplicates and stores
 what the engine produced.  All completion payloads are pickles; every waiter
 of one coalesced execution receives the *same* payload bytes.
+
+On top of scheduling, the service carries the resilience layer:
+
+* **admission control** — queue depth and queued request bytes are bounded;
+  a submission that would exceed either is *shed* with
+  :class:`~repro.errors.ServiceOverloadedError` (HTTP ``429 + Retry-After``)
+  instead of growing the backlog without bound.  Store hits and coalescing
+  joins bypass admission — they add no work;
+* **crash recovery** — a worker process dying mid-job
+  (``BrokenProcessPool``) respawns the pool and re-dispatches the in-flight
+  entry under a bounded retry budget; an entry that keeps crashing the pool
+  fails over to the in-process thread path instead of wedging the dispatch
+  loop;
+* **timeouts & cancellation** — every job may carry a wall-clock budget
+  (spec field or the service-wide default); a reaper thread moves expired
+  jobs to the ``timeout`` state, and queued jobs can be cancelled
+  (``DELETE /jobs/<id>``) before they dispatch.
 """
 
 from __future__ import annotations
@@ -35,7 +52,11 @@ from repro.api.batch import (
     _execute_request_to_bytes,
     _ship_payload,
 )
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    ServiceOverloadedError,
+    SimulationError,
+)
 from repro.service.jobs import JobRecord, JobState
 from repro.service.queue import CoalescingPriorityQueue, QueueEntry
 from repro.service.store import ResultStore
@@ -44,6 +65,19 @@ __all__ = ["SimulationService"]
 
 #: Completed job records kept for ``GET /jobs/<id>`` before being forgotten.
 DEFAULT_KEEP_JOBS = 1024
+
+#: Default bound on distinct pending queue entries (admission control).
+DEFAULT_MAX_PENDING = 256
+
+#: Default bound on the pickled bytes of queued + running requests (64 MiB).
+DEFAULT_MAX_QUEUED_BYTES = 64 * 1024 * 1024
+
+#: Pool re-dispatches granted to an entry whose worker crashed, before the
+#: entry fails over to the in-process thread path.
+DEFAULT_MAX_RETRIES = 2
+
+#: How often the reaper thread checks job deadlines (seconds).
+REAPER_INTERVAL = 0.05
 
 
 class SimulationService:
@@ -62,6 +96,19 @@ class SimulationService:
     paused:
         Start with dispatching suspended (``resume()`` starts it); used by
         tests and smoke checks to make coalescing deterministic.
+    max_pending:
+        Admission bound on distinct pending queue entries; a submission that
+        would create one more is shed with
+        :class:`~repro.errors.ServiceOverloadedError` (``None`` = unbounded).
+    max_queued_bytes:
+        Admission bound on the total pickled request bytes queued + running
+        (``None`` = unbounded).
+    default_timeout:
+        Wall-clock budget applied to jobs that do not carry their own
+        ``timeout`` (``None`` = no default deadline).
+    max_retries:
+        Pool re-dispatches granted to an entry whose worker process crashed
+        before it fails over to the in-process thread path.
     """
 
     def __init__(
@@ -71,14 +118,30 @@ class SimulationService:
         workers: int = 2,
         keep_jobs: int = DEFAULT_KEEP_JOBS,
         paused: bool = False,
+        max_pending: int | None = DEFAULT_MAX_PENDING,
+        max_queued_bytes: int | None = DEFAULT_MAX_QUEUED_BYTES,
+        default_timeout: float | None = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("the service needs at least one worker")
         if keep_jobs < 1:
             raise ConfigurationError("keep_jobs must be positive")
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError("max_pending must be positive (or None)")
+        if max_queued_bytes is not None and max_queued_bytes < 1:
+            raise ConfigurationError("max_queued_bytes must be positive (or None)")
+        if default_timeout is not None and default_timeout <= 0:
+            raise ConfigurationError("default_timeout must be positive (or None)")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries cannot be negative")
         self.store = store
         self.workers = workers
         self.keep_jobs = keep_jobs
+        self.max_pending = max_pending
+        self.max_queued_bytes = max_queued_bytes
+        self.default_timeout = default_timeout
+        self.max_retries = max_retries
         self.started_at = time.time()
 
         self._queue = CoalescingPriorityQueue()
@@ -90,6 +153,7 @@ class SimulationService:
             self._gate.set()
         self._shutdown = False
         self._inflight = 0
+        self._queued_bytes = 0
 
         self._pool: ProcessPoolExecutor | None = None
         self._local_pool: ThreadPoolExecutor | None = None
@@ -99,11 +163,22 @@ class SimulationService:
             "coalesced": 0,
             "store_hits": 0,
             "failed": 0,
+            "rejected": 0,
+            "retried": 0,
+            "worker_crashes": 0,
+            "failover_local": 0,
+            "timeouts": 0,
+            "cancelled": 0,
         }
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-service-dispatcher", daemon=True
         )
         self._dispatcher.start()
+        self._reaper_stop = threading.Event()
+        self._reaper = threading.Thread(
+            target=self._reaper_loop, name="repro-service-reaper", daemon=True
+        )
+        self._reaper.start()
 
     # ------------------------------------------------------------------ #
     # submission
@@ -114,23 +189,37 @@ class SimulationService:
         *,
         priority: int = 0,
         tag: str | None = None,
+        timeout: float | None = None,
     ) -> JobRecord:
         """Submit one simulation request; returns its job record immediately.
 
         The record completes asynchronously — poll it, or block with
         :meth:`wait`.  Identical in-flight requests coalesce; identical
-        *stored* requests return an already-completed record.
+        *stored* requests return an already-completed record.  ``timeout``
+        is the job's wall-clock budget (defaults to the service's
+        ``default_timeout``); a job past its deadline moves to the
+        ``timeout`` state even if the underlying execution is still running.
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` when admission
+        control sheds the submission (queue depth or queued bytes at their
+        bound); the error carries a ``retry_after`` hint in seconds.
         """
         if not isinstance(request, SimulationRequest):
             raise ConfigurationError(
                 f"submit() takes a SimulationRequest, got {type(request).__name__}"
             )
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError("timeout must be positive (or None)")
+        if timeout is None:
+            timeout = self.default_timeout
         key = request.cache_key()
         job = JobRecord(
             job_id=uuid.uuid4().hex,
             key=key,
             priority=priority,
             tag=tag if tag is not None else request.tag,
+            timeout=timeout,
+            deadline=None if timeout is None else time.monotonic() + timeout,
         )
         # probe the store outside the service lock: it is internally
         # thread-safe, and its disk round-trip must not serialize every
@@ -138,6 +227,14 @@ class SimulationService:
         # racing a completion only costs, at worst, one redundant execution
         # of an already-stored request — never a wrong result.)
         payload = self.store.get_bytes(key) if self.store is not None else None
+        # the request is pickled for the worker pool up front (outside the
+        # lock): admission control charges its bytes, and crash-recovery
+        # re-dispatches reuse it instead of re-pickling per attempt.  Joins
+        # of an in-flight entry skip the pickle; if the entry finishes in
+        # the race window, dispatch falls back to pickling the request then.
+        ship = None
+        if payload is None and not self._queue.has(key):
+            ship = _ship_payload(request)
         with self._lock:
             if self._shutdown:
                 raise SimulationError("the service is shut down")
@@ -151,8 +248,31 @@ class SimulationService:
                 self._remember(job)
                 self._finished.notify_all()
                 return job
+            # Admission control: joins of an existing entry add no work and
+            # are always admitted; a submission needing a *new* entry is shed
+            # when either bound is reached, so overload degrades to fast 429s
+            # instead of an unbounded backlog.
+            if not self._queue.has(key):
+                pending = self._queue.pending_count()
+                over_depth = (
+                    self.max_pending is not None and pending >= self.max_pending
+                )
+                over_bytes = (
+                    self.max_queued_bytes is not None
+                    and ship is not None
+                    and self._queued_bytes + len(ship) > self.max_queued_bytes
+                )
+                if over_depth or over_bytes:
+                    self._counters["rejected"] += 1
+                    reason = "queue depth" if over_depth else "queued bytes"
+                    raise ServiceOverloadedError(
+                        f"service overloaded ({reason} at bound); retry later",
+                        retry_after=self._retry_after_hint(pending),
+                    )
             try:
-                entry, coalesced = self._queue.offer(key, request, job.job_id, priority)
+                entry, coalesced = self._queue.offer(
+                    key, request, job.job_id, priority, payload=ship
+                )
             except RuntimeError:  # closed by a shutdown() that raced this submit
                 raise SimulationError("the service is shut down") from None
             if coalesced:
@@ -162,8 +282,16 @@ class SimulationService:
                     job.state = JobState.RUNNING
             else:
                 job.served_from = "executed"
+                if ship is not None:
+                    entry.charged = True
+                    self._queued_bytes += len(ship)
             self._remember(job)
             return job
+
+    def _retry_after_hint(self, pending: int) -> float:
+        """Seconds a shed client should wait: the backlog over the workers."""
+        backlog = pending + self._inflight
+        return min(30.0, max(0.25, 0.5 * backlog / self.workers))
 
     def _remember(self, job: JobRecord) -> None:
         self._jobs[job.job_id] = job
@@ -193,8 +321,11 @@ class SimulationService:
                     if record is not None and not record.finished:
                         record.state = JobState.RUNNING
             try:
-                future = self._submit_to_pool(entry.request)
-            except Exception as error:  # pragma: no cover - pool creation failure
+                future = self._submit_to_pool(entry)
+            except Exception as error:
+                # pool submission itself failed (e.g. a pool broken by an
+                # earlier crash raises synchronously) — same recovery path
+                # as an asynchronous failure
                 self._complete(entry, None, error)
                 continue
             future.add_done_callback(
@@ -203,25 +334,30 @@ class SimulationService:
                 )
             )
 
-    def _submit_to_pool(self, request: SimulationRequest) -> Future:
+    def _submit_to_pool(self, entry: QueueEntry) -> Future:
         # both entry points pickle the result in the process that produced
         # it, so completion payloads are byte-identical regardless of which
         # pool ran the request (canonical bytes for the store and for every
         # content-hashing consumer, e.g. sweep ledgers)
-        payload = _ship_payload(request)
-        if payload is None:
-            # Unpicklable (or spawn-unsafe) request: execute in-process on a
-            # thread so it cannot stall the dispatcher.
+        if entry.payload is None and not entry.force_local:
+            # submit-time pickling was skipped (coalescing race) — try here
+            entry.payload = _ship_payload(entry.request)
+        if entry.payload is None or entry.force_local:
+            # Unpicklable (or spawn-unsafe) request, or an entry that burned
+            # its pool retry budget: execute in-process on a thread so it
+            # cannot stall the dispatcher (or crash-loop the pool).
             if self._local_pool is None:
                 self._local_pool = ThreadPoolExecutor(
                     max_workers=self.workers, thread_name_prefix="repro-service-local"
                 )
-            return self._local_pool.submit(_execute_request_to_bytes, request)
+            return self._local_pool.submit(_execute_request_to_bytes, entry.request)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool.submit(_execute_pickled_to_bytes, payload)
+        return self._pool.submit(_execute_pickled_to_bytes, entry.payload)
 
     def _complete(self, entry: QueueEntry, payload: bytes | None, error: BaseException | None) -> None:
+        if error is not None and self._recover(entry, error):
+            return  # the entry went back in line; completion comes later
         if error is None:
             if self.store is not None:
                 # durable write outside the service lock (see submit())
@@ -232,13 +368,11 @@ class SimulationService:
         with self._lock:
             self._queue.finish(entry.key)
             self._inflight -= 1
+            self._release_queued_bytes(entry)
             if error is None:
                 self._counters["executed"] += 1
             else:
                 self._counters["failed"] += len(entry.job_ids)
-                if isinstance(error, BrokenProcessPool):
-                    # the persistent pool died with this job; rebuild it lazily
-                    self._pool = None
             now = time.time()
             for job_id in entry.job_ids:
                 record = self._jobs.get(job_id)
@@ -255,6 +389,112 @@ class SimulationService:
                     record.error = f"{type(error).__name__}: {error}"
                     record.state = JobState.FAILED
             self._finished.notify_all()
+
+    def _recover(self, entry: QueueEntry, error: BaseException) -> bool:
+        """Re-dispatch an entry whose worker process died; ``True`` if requeued.
+
+        A ``BrokenProcessPool`` means the worker crashed *under* the job, not
+        that the job itself failed: the dead pool is dropped (rebuilt lazily
+        on the next dispatch) and the entry goes back in line with its retry
+        budget decremented.  Past ``max_retries`` pool attempts the entry is
+        pinned to the in-process thread path — one bounded failover instead
+        of a crash loop.  Returns ``False`` (→ ordinary failure handling)
+        for non-crash errors, a shut-down service, or an entry whose waiters
+        have all reached terminal states already.
+        """
+        if not isinstance(error, BrokenProcessPool):
+            return False
+        with self._lock:
+            self._counters["worker_crashes"] += 1
+            self._pool = None  # the pool died with the worker; respawn lazily
+            if self._shutdown:
+                return False
+            live = any(
+                (record := self._jobs.get(job_id)) is not None and not record.finished
+                for job_id in entry.job_ids
+            )
+            if not live:
+                return False  # every waiter timed out / was forgotten: drop it
+            entry.attempts += 1
+            if entry.attempts > self.max_retries:
+                entry.force_local = True
+                self._counters["failover_local"] += 1
+            else:
+                self._counters["retried"] += 1
+            if not self._queue.requeue(entry):
+                return False  # queue closed under us: fail the waiters
+            self._inflight -= 1
+            return True
+
+    def _release_queued_bytes(self, entry: QueueEntry) -> None:
+        """Return an entry's pickled request bytes to the admission budget."""
+        if entry.charged and entry.payload is not None:
+            entry.charged = False  # release exactly once per entry
+            self._queued_bytes = max(0, self._queued_bytes - len(entry.payload))
+
+    # ------------------------------------------------------------------ #
+    # deadlines & cancellation
+    # ------------------------------------------------------------------ #
+    def _reaper_loop(self) -> None:
+        while not self._reaper_stop.wait(REAPER_INTERVAL):
+            self._reap_expired()
+
+    def _reap_expired(self) -> None:
+        """Move every job past its wall-clock deadline to the timeout state.
+
+        A timed-out job that is still *queued* is detached from its entry
+        (and the entry is dropped outright when it was the only waiter); one
+        whose execution already dispatched is only marked — the execution
+        keeps running for the entry's other waiters, and :meth:`_complete`
+        skips records that are already terminal.
+        """
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                record
+                for record in self._jobs.values()
+                if not record.finished
+                and record.deadline is not None
+                and record.deadline <= now
+            ]
+            if not expired:
+                return
+            wall = time.time()
+            for record in expired:
+                _removed, dropped = self._queue.discard_job(record.key, record.job_id)
+                if dropped is not None:
+                    self._release_queued_bytes(dropped)
+                record.error = f"exceeded the {record.timeout}s wall-clock budget"
+                record.finished_at = wall
+                record.state = JobState.TIMEOUT
+                self._counters["timeouts"] += 1
+            self._finished.notify_all()
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a *queued* job; ``True`` when the job was cancelled.
+
+        Only jobs still waiting in the queue can be cancelled — a running or
+        finished job returns ``False`` (HTTP maps that to ``409 Conflict``).
+        Cancelling the last waiter of an entry retires the entry entirely,
+        so the simulation never dispatches.  Raises
+        :class:`~repro.errors.SimulationError` for an unknown job id.
+        """
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise SimulationError(f"unknown job id {job_id!r}")
+            if record.finished:
+                return False
+            removed, dropped = self._queue.discard_job(record.key, job_id)
+            if not removed:
+                return False  # already dispatched (or mid-dispatch): too late
+            if dropped is not None:
+                self._release_queued_bytes(dropped)
+            record.finished_at = time.time()
+            record.state = JobState.CANCELLED
+            self._counters["cancelled"] += 1
+            self._finished.notify_all()
+            return True
 
     # ------------------------------------------------------------------ #
     # retrieval
@@ -335,6 +575,11 @@ class SimulationService:
                 "paused": self.paused,
                 "jobs_tracked": len(self._jobs),
                 "jobs_by_state": by_state,
+                "queued_bytes": self._queued_bytes,
+                "max_pending": self.max_pending,
+                "max_queued_bytes": self.max_queued_bytes,
+                "default_timeout": self.default_timeout,
+                "max_retries": self.max_retries,
                 "uptime_seconds": round(time.time() - self.started_at, 3),
             }
             if self.store is not None:
@@ -359,8 +604,10 @@ class SimulationService:
             self._shutdown = True
         self._queue.close()
         self._gate.set()  # unblock a paused dispatcher so it can exit
+        self._reaper_stop.set()
         if wait:
             self._dispatcher.join(timeout=5.0)
+            self._reaper.join(timeout=5.0)
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
             self._pool = None

@@ -6,14 +6,19 @@ dependencies**.  Endpoints:
 
 ========================  ==================================================
 ``POST /jobs``            submit a job document (see :mod:`repro.service.specs`);
-                          answers ``202`` with ``{job_id, state, served_from}``
+                          answers ``202`` with ``{job_id, state, served_from}``,
+                          or ``429`` with a ``Retry-After`` header when
+                          admission control sheds the submission
 ``GET /jobs/<id>``        job status; includes ``result_pickle`` (base64)
                           once the job is done.  ``?follow=1[&wait=N]``
                           long-polls: the answer is held back until the job
                           finishes or ``N`` seconds elapse (capped at
                           ``MAX_FOLLOW_WAIT``), then reports the current state
+``DELETE /jobs/<id>``     cancel a still-queued job; ``409`` once it is
+                          running or finished, ``404`` for unknown ids
 ``GET /stats``            live service counters (submissions, executions,
-                          coalescing, store occupancy, queue depth)
+                          coalescing, load shedding, crash recovery, store
+                          occupancy, queue depth)
 ``GET /metrics``          the same counters as scrape-friendly plaintext
                           (``repro_*`` gauge lines plus derived rates)
 ``GET /healthz``          liveness probe
@@ -31,7 +36,7 @@ import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceOverloadedError, SimulationError
 from repro.service.core import SimulationService
 from repro.service.specs import parse_job_document
 
@@ -65,6 +70,13 @@ def render_metrics(stats: dict) -> str:
         f"repro_coalesced_total {stats.get('coalesced', 0)}",
         f"repro_store_hits_total {stats.get('store_hits', 0)}",
         f"repro_failed_total {stats.get('failed', 0)}",
+        f"repro_rejected_total {stats.get('rejected', 0)}",
+        f"repro_retried_total {stats.get('retried', 0)}",
+        f"repro_worker_crashes_total {stats.get('worker_crashes', 0)}",
+        f"repro_failover_local_total {stats.get('failover_local', 0)}",
+        f"repro_timeouts_total {stats.get('timeouts', 0)}",
+        f"repro_cancelled_total {stats.get('cancelled', 0)}",
+        f"repro_queued_bytes {stats.get('queued_bytes', 0)}",
         f"repro_queue_pending {stats.get('pending', 0)}",
         f"repro_jobs_running {stats.get('running', 0)}",
         f"repro_jobs_tracked {stats.get('jobs_tracked', 0)}",
@@ -81,6 +93,7 @@ def render_metrics(stats: dict) -> str:
             f"repro_store_bytes {store.get('bytes', 0)}",
             f"repro_store_max_bytes {store.get('max_bytes', 0)}",
             f"repro_store_evictions_total {store.get('evictions', 0)}",
+            f"repro_store_quarantined_total {store.get('quarantined', 0)}",
         ]
     return "\n".join(lines) + "\n"
 
@@ -93,11 +106,13 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:  # pragma: no cover - log formatting only
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, document: dict) -> None:
+    def _send_json(self, status: int, document: dict, headers: dict | None = None) -> None:
         body = json.dumps(document).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -141,6 +156,30 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._error(404, f"unknown path {path!r}")
 
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if not path.startswith("/jobs/"):
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        job_id = path[len("/jobs/"):]
+        try:
+            cancelled = self.server.service.cancel(job_id)
+        except SimulationError as error:  # unknown job id
+            self._error(404, str(error))
+            return
+        if cancelled:
+            self._send_json(200, {"job_id": job_id, "state": "cancelled"})
+        else:
+            record = self.server.service.job(job_id)
+            state = record.state.value if record is not None else "unknown"
+            self._send_json(
+                409,
+                {
+                    "error": f"job {job_id} is {state}; only queued jobs can be cancelled",
+                    "state": state,
+                },
+            )
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path.split("?", 1)[0].rstrip("/") != "/jobs":
             self._error(404, f"unknown path {self.path!r}")
@@ -159,10 +198,20 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"bad JSON body: {error}")
             return
         try:
-            request, priority = parse_job_document(document)
+            request, priority, timeout = parse_job_document(document)
             job = self.server.service.submit(
-                request, priority=priority, tag=request.tag
+                request, priority=priority, tag=request.tag, timeout=timeout
             )
+        except ServiceOverloadedError as error:
+            # load shed: tell the client when to come back.  Retry-After is
+            # integral per RFC 9110; round up so "0.4s" never becomes "0".
+            retry_after = max(1, int(-(-error.retry_after // 1)))
+            self._send_json(
+                429,
+                {"error": str(error), "retry_after": error.retry_after},
+                headers={"Retry-After": str(retry_after)},
+            )
+            return
         except ReproError as error:
             self._error(400, str(error))
             return

@@ -21,9 +21,9 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.results import SimulationResult
-from repro.errors import SimulationError
+from repro.errors import JobCancelled, JobTimeout, SimulationError
 
-__all__ = ["JobRecord", "JobState"]
+__all__ = ["JobRecord", "JobState", "TERMINAL_STATES"]
 
 
 class JobState(str, enum.Enum):
@@ -33,6 +33,12 @@ class JobState(str, enum.Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+
+#: The states a job never leaves (``done``/``failed``/``cancelled``/``timeout``).
+TERMINAL_STATES = (JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.TIMEOUT)
 
 
 @dataclass
@@ -49,20 +55,31 @@ class JobRecord:
     submitted_at: float = field(default_factory=time.time)
     finished_at: float | None = None
     payload: bytes | None = None
+    #: Wall-clock budget in seconds (``None`` = no deadline); ``deadline`` is
+    #: the absolute :func:`time.monotonic` instant derived from it at submit.
+    timeout: float | None = None
+    deadline: float | None = None
 
     @property
     def finished(self) -> bool:
         """Whether the job has reached a terminal state."""
-        return self.state in (JobState.DONE, JobState.FAILED)
+        return self.state in TERMINAL_STATES
 
     def result(self) -> SimulationResult:
         """A fresh copy of the job's simulation result.
 
-        Raises :class:`~repro.errors.SimulationError` if the job failed or
-        has not completed yet.
+        Raises the job's typed terminal error — :class:`~repro.errors.JobTimeout`,
+        :class:`~repro.errors.JobCancelled` or plain
+        :class:`~repro.errors.SimulationError` — if there is no result.
         """
         if self.state is JobState.FAILED:
             raise SimulationError(f"job {self.job_id} failed: {self.error}")
+        if self.state is JobState.CANCELLED:
+            raise JobCancelled(f"job {self.job_id} was cancelled")
+        if self.state is JobState.TIMEOUT:
+            raise JobTimeout(
+                f"job {self.job_id} exceeded its {self.timeout}s timeout"
+            )
         if self.payload is None:
             raise SimulationError(f"job {self.job_id} has no result yet ({self.state.value})")
         return pickle.loads(self.payload)
@@ -78,6 +95,7 @@ class JobRecord:
             "error": self.error,
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
+            "timeout": self.timeout,
         }
         if include_payload and self.payload is not None:
             import base64

@@ -25,7 +25,13 @@ __all__ = ["CoalescingPriorityQueue", "QueueEntry"]
 
 @dataclass
 class QueueEntry:
-    """One unique pending/running simulation and the jobs attached to it."""
+    """One unique pending/running simulation and the jobs attached to it.
+
+    ``payload`` carries the request pre-pickled for the worker pool (``None``
+    when the request must run in-process); ``attempts`` counts pool
+    executions consumed by worker crashes, and ``force_local`` marks an entry
+    that exhausted its pool retry budget and fails over to the thread path.
+    """
 
     key: tuple
     request: object
@@ -33,6 +39,12 @@ class QueueEntry:
     seq: int
     job_ids: list[str] = field(default_factory=list)
     running: bool = False
+    payload: bytes | None = None
+    #: Whether ``payload``'s bytes were charged to the service's admission
+    #: budget at submit time (a payload pickled late, at dispatch, is not).
+    charged: bool = False
+    attempts: int = 0
+    force_local: bool = False
 
     @property
     def heap_token(self) -> tuple[int, int]:
@@ -52,8 +64,22 @@ class CoalescingPriorityQueue:
         self._closed = False
 
     # ------------------------------------------------------------------ #
+    def has(self, key: tuple) -> bool:
+        """Whether an entry (pending or running) exists for ``key``.
+
+        Used by admission control: a submission that would *join* an existing
+        entry adds no queue depth, so it is admitted even at saturation.
+        """
+        with self._lock:
+            return key in self._entries
+
     def offer(
-        self, key: tuple, request: object, job_id: str, priority: int = 0
+        self,
+        key: tuple,
+        request: object,
+        job_id: str,
+        priority: int = 0,
+        payload: bytes | None = None,
     ) -> tuple[QueueEntry, bool]:
         """Enqueue (or join) the simulation identified by ``key``.
 
@@ -75,7 +101,7 @@ class CoalescingPriorityQueue:
                 return entry, True
             entry = QueueEntry(
                 key=key, request=request, priority=priority,
-                seq=next(self._seq), job_ids=[job_id],
+                seq=next(self._seq), job_ids=[job_id], payload=payload,
             )
             self._entries[key] = entry
             heapq.heappush(self._heap, (*entry.heap_token, key))
@@ -111,6 +137,42 @@ class CoalescingPriorityQueue:
                 continue  # stale position (finished, running, or re-prioritized)
             return entry
         return None
+
+    def requeue(self, entry: QueueEntry) -> bool:
+        """Put a taken entry back in line (crash recovery re-dispatch).
+
+        The entry keeps its jobs and priority but re-arrives at the back of
+        its priority class.  Returns ``False`` when the entry is no longer
+        current (already finished) or the queue is closed — the caller must
+        then complete it as a failure instead of retrying.
+        """
+        with self._lock:
+            if self._closed or self._entries.get(entry.key) is not entry:
+                return False
+            entry.running = False
+            entry.seq = next(self._seq)
+            heapq.heappush(self._heap, (*entry.heap_token, entry.key))
+            self._not_empty.notify()
+            return True
+
+    def discard_job(self, key: tuple, job_id: str) -> tuple[bool, QueueEntry | None]:
+        """Detach one job from a *pending* entry (cancellation / timeout).
+
+        Returns ``(removed, dropped_entry)``: ``removed`` is ``False`` when
+        the entry is unknown, already running, or does not hold the job;
+        ``dropped_entry`` is the entry itself when it lost its last job and
+        was retired entirely (its stale heap position is skipped at take
+        time), so the caller can release resources the entry was charged.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.running or job_id not in entry.job_ids:
+                return False, None
+            entry.job_ids.remove(job_id)
+            if not entry.job_ids:
+                del self._entries[key]
+                return True, entry
+            return True, None
 
     def finish(self, key: tuple) -> QueueEntry | None:
         """Retire the entry for ``key`` (after completion or failure)."""

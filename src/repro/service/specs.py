@@ -44,7 +44,7 @@ __all__ = ["parse_job_document", "workload_from_spec"]
 #: Fields accepted at the top level of a JSON job document.
 _JOB_FIELDS = {
     "machine", "workloads", "mode", "instruction_limit", "restart_companions",
-    "options", "priority", "tag", "request_pickle",
+    "options", "priority", "tag", "request_pickle", "timeout",
 }
 
 
@@ -74,10 +74,12 @@ def workload_from_spec(spec):
     )
 
 
-def parse_job_document(document: dict) -> tuple[SimulationRequest, int]:
-    """Parse one POSTed job document into ``(request, priority)``.
+def parse_job_document(document: dict) -> tuple[SimulationRequest, int, float | None]:
+    """Parse one POSTed job document into ``(request, priority, timeout)``.
 
-    Raises :class:`~repro.errors.ConfigurationError` /
+    ``timeout`` is the job's optional wall-clock budget in seconds (``None``
+    when absent — the service then applies its own default).  Raises
+    :class:`~repro.errors.ConfigurationError` /
     :class:`~repro.errors.WorkloadError` on malformed documents (mapped to
     HTTP 400 by the server).
     """
@@ -89,6 +91,13 @@ def parse_job_document(document: dict) -> tuple[SimulationRequest, int]:
     priority = document.get("priority", 0)
     if not isinstance(priority, int) or isinstance(priority, bool):
         raise ConfigurationError("priority must be an integer")
+    timeout = document.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise ConfigurationError("timeout must be a number of seconds")
+        timeout = float(timeout)
+        if timeout <= 0:
+            raise ConfigurationError("timeout must be positive")
 
     if "request_pickle" in document:
         conflicting = set(document) & {"machine", "workloads", "mode", "options"}
@@ -105,7 +114,7 @@ def parse_job_document(document: dict) -> tuple[SimulationRequest, int]:
                 "request_pickle must encode a SimulationRequest, "
                 f"got {type(request).__name__}"
             )
-        return request, priority
+        return request, priority, timeout
 
     machine = document.get("machine")
     if not isinstance(machine, str) or not machine:
@@ -127,4 +136,4 @@ def parse_job_document(document: dict) -> tuple[SimulationRequest, int]:
         options=tuple(sorted(options.items())),
         tag=document.get("tag"),
     )
-    return request, priority
+    return request, priority, timeout

@@ -20,8 +20,15 @@ Durability and safety properties:
   (the :mod:`repro` version by default) it was produced by; entries written
   by a different code version are treated as misses and deleted, so a store
   directory can never serve results the current simulator would not produce;
-* **corruption degrades to a miss** — a truncated, unreadable or
-  wrong-keyed entry file is deleted and reported as a miss, never raised.
+* **corruption degrades to a miss** — a truncated or unparseable entry file
+  is *quarantined* on first detection (renamed aside with a ``.corrupt``
+  suffix, preserving the bytes for diagnosis) and reported as a miss, never
+  raised and never re-parsed on later lookups; wrong-version and wrong-key
+  entries are deleted outright (they are stale, not evidence);
+* **multi-process sharing** — LRU eviction runs under an advisory file lock
+  (``.store.lock`` in the directory), so several service processes can share
+  one store directory without racing each other's evictions; a missing
+  victim file (already evicted by a sibling) is tolerated everywhere.
 
 The store exposes the same ``get(key)``/``put(key, result)`` surface as
 :class:`~repro.api.cache.RunCache`, so it is a drop-in ``cache=`` argument for
@@ -31,14 +38,21 @@ All methods are thread-safe.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
 import threading
 from pathlib import Path
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
 from repro.core.results import SimulationResult
 from repro.errors import ConfigurationError
+from repro.faults import inject_store_corrupt
 
 __all__ = ["ResultStore", "code_fingerprint", "key_digest"]
 
@@ -47,6 +61,12 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 #: Filename suffix of store entries.
 ENTRY_SUFFIX = ".res"
+
+#: Suffix appended to a quarantined (corrupt) entry file.
+QUARANTINE_SUFFIX = ".corrupt"
+
+#: Advisory lock file guarding cross-process eviction in a shared directory.
+LOCK_FILENAME = ".store.lock"
 
 
 def code_fingerprint() -> str:
@@ -102,6 +122,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.quarantined = 0
         self._lock = threading.RLock()
         #: digest -> (size_bytes, recency); recency is a monotonically
         #: increasing use counter seeded from file mtimes at startup.
@@ -143,6 +164,46 @@ class ResultStore:
         if evicted:
             self.evictions += 1
 
+    def _quarantine(self, digest: str) -> None:
+        """Move a corrupt entry aside so it can never be re-parsed.
+
+        The bytes are preserved under ``<entry>.corrupt`` for diagnosis
+        (``_scan`` and lookups only ever consider ``.res`` files), and the
+        original path is free for a clean rewrite of the same key.
+        """
+        self._index.pop(digest, None)
+        path = self._path(digest)
+        try:
+            os.replace(path, path.with_name(path.name + QUARANTINE_SUFFIX))
+        except OSError:  # raced away (or unrenamable): fall back to deletion
+            with contextlib.suppress(OSError):
+                path.unlink()
+        self.quarantined += 1
+
+    @contextlib.contextmanager
+    def _dir_lock(self):
+        """Advisory cross-process lock on the store directory.
+
+        Taken around LRU eviction so sibling service processes sharing the
+        directory never evict concurrently.  Degrades to a no-op where
+        ``fcntl`` is unavailable or the lock file cannot be opened.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield
+            return
+        try:
+            handle = os.open(self.directory / LOCK_FILENAME, os.O_CREAT | os.O_RDWR)
+        except OSError:  # pragma: no cover - unwritable shared directory
+            yield
+            return
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                fcntl.flock(handle, fcntl.LOCK_UN)
+            os.close(handle)
+
     def _evict_to_bound(self, protect: str | None = None) -> None:
         if self.max_bytes is None:
             return
@@ -167,24 +228,31 @@ class ResultStore:
         digest = key_digest(key)
         with self._lock:
             path = self._path(digest)
+            inject_store_corrupt(path)
             try:
                 raw = path.read_bytes()
-                envelope = pickle.loads(raw)
-                if (
-                    envelope["fingerprint"] != self.fingerprint
-                    or envelope["key"] != key
-                    or not isinstance(envelope["payload"], bytes)
-                ):
-                    raise ValueError("stale or mismatched store entry")
-                payload = envelope["payload"]
             except FileNotFoundError:
                 self._index.pop(digest, None)
                 self.misses += 1
                 return None
+            try:
+                envelope = pickle.loads(raw)
+                stale = (
+                    envelope["fingerprint"] != self.fingerprint
+                    or envelope["key"] != key
+                    or not isinstance(envelope["payload"], bytes)
+                )
+                payload = None if stale else envelope["payload"]
             except Exception:
-                # Corrupt, truncated, wrong-version or colliding entry:
-                # degrade to a miss and drop the file so it cannot keep
-                # failing on every probe.
+                # Corrupt or truncated entry: quarantine the bytes on first
+                # detection — it must neither keep failing on every probe
+                # nor be silently destroyed (the file is evidence).
+                self._quarantine(digest)
+                self.misses += 1
+                return None
+            if payload is None:
+                # Parseable but wrong-version or colliding entry: stale, not
+                # corrupt — delete it outright and degrade to a miss.
                 self._discard(digest)
                 self.misses += 1
                 return None
@@ -212,7 +280,10 @@ class ResultStore:
             tmp.write_bytes(envelope)
             os.replace(tmp, path)
             self._touch(digest, len(envelope))
-            self._evict_to_bound(protect=digest)
+            if self.max_bytes is not None and self.total_bytes() > self.max_bytes:
+                # only the over-bound path pays for the cross-process lock
+                with self._dir_lock():
+                    self._evict_to_bound(protect=digest)
 
     def put(self, key: tuple, result: SimulationResult) -> None:
         """Pickle and store one simulation result under ``key``."""
@@ -232,6 +303,7 @@ class ResultStore:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.quarantined = 0
 
     def stats(self) -> dict:
         """Counters and occupancy, as reported by the service ``/stats``."""
@@ -243,6 +315,7 @@ class ResultStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "quarantined": self.quarantined,
                 "fingerprint": self.fingerprint,
                 "directory": str(self.directory),
             }

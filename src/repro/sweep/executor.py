@@ -251,51 +251,68 @@ def _execute_via_service(
     client,
     priority: int,
     timeout: float | None,
+    retries: int,
     emit: Callable[[PointOutcome], None],
 ) -> None:
     from repro.errors import SimulationError
     from repro.service.client import ServiceError
 
-    # submit everything up front (the service coalesces identical in-flight
-    # requests itself), then stream results back in submission order — the
-    # long-poll wait keeps this from busy-polling the endpoint
-    handles: list[tuple[SweepPoint, object | None, str | None]] = []
-    for point in compiled.points:
-        try:
-            handle = client.submit_request(point.request, priority=priority)
-        except ServiceError as error:
-            handles.append((point, None, str(error)))
-        else:
-            handles.append((point, handle, None))
+    def run_round(points: list[SweepPoint]) -> list[SweepPoint]:
+        # submit everything up front (the service coalesces identical
+        # in-flight requests itself), then stream results back in submission
+        # order — the long-poll wait keeps this from busy-polling the
+        # endpoint.  Returns the points that failed this round.
+        handles: list[tuple[SweepPoint, object | None, str | None]] = []
+        for point in points:
+            try:
+                handle = client.submit_request(point.request, priority=priority)
+            except ServiceError as error:
+                handles.append((point, None, str(error)))
+            else:
+                handles.append((point, handle, None))
 
-    for point, handle, submit_error in handles:
-        if handle is None:
-            emit(
-                PointOutcome(
-                    point=point,
-                    status="failed",
-                    served_from="executed",
-                    error=submit_error,
+        failed: list[SweepPoint] = []
+        for point, handle, submit_error in handles:
+            if handle is None:
+                emit(
+                    PointOutcome(
+                        point=point,
+                        status="failed",
+                        served_from="executed",
+                        error=submit_error,
+                    )
                 )
-            )
-            continue
-        started = time.perf_counter()
-        try:
-            payload = handle.result_bytes(timeout=timeout)
-        except (SimulationError, ServiceError) as error:
-            emit(
-                _outcome_from_error(point, error, time.perf_counter() - started)
-            )
-        else:
-            emit(
-                PointOutcome(
-                    point=point,
-                    status="done",
-                    served_from=handle.served_from,
-                    payload=payload,
-                    elapsed=time.perf_counter() - started,
+                failed.append(point)
+                continue
+            started = time.perf_counter()
+            try:
+                payload = handle.result_bytes(timeout=timeout)
+            except (SimulationError, ServiceError) as error:
+                emit(
+                    _outcome_from_error(point, error, time.perf_counter() - started)
                 )
-            )
+                failed.append(point)
+            else:
+                emit(
+                    PointOutcome(
+                        point=point,
+                        status="done",
+                        served_from=handle.served_from,
+                        payload=payload,
+                        elapsed=time.perf_counter() - started,
+                    )
+                )
+        return failed
+
+    # a failed point is re-submitted up to `retries` more times: shed
+    # submissions, timed-out waits and crash-exhausted jobs often succeed
+    # on a later, less-loaded pass, and a retried success simply overwrites
+    # the point's failed outcome.  Persistent failures stay failed.
+    pending = list(compiled.points)
+    for _round in range(retries + 1):
+        pending = run_round(pending)
+        if not pending:
+            return
 
 
 # --------------------------------------------------------------------------- #
@@ -309,6 +326,7 @@ def execute_sweep(
     client=None,
     priority: int = 0,
     timeout: float | None = 300.0,
+    service_retries: int = 1,
     progress: ProgressCallback | None = None,
 ) -> SweepRun:
     """Run every point of a compiled sweep and return the outcomes.
@@ -326,11 +344,17 @@ def execute_sweep(
         are fanned out through the running service instead of in-process.
     priority / timeout:
         Service-path submission priority and per-point wait deadline.
+    service_retries:
+        Extra submission rounds granted to service-path points that failed
+        (shed, timed out, or errored); persistent failures stay failed.
     progress:
-        ``callback(outcome, completed, total)`` fired as each point settles.
+        ``callback(outcome, completed, total)`` fired as each point settles
+        (a retried point fires again when its retry settles).
     """
     if jobs < 1:
         raise SweepError("jobs must be at least 1")
+    if service_retries < 0:
+        raise SweepError("service_retries cannot be negative")
     total = len(compiled.points)
     by_id: dict[str, PointOutcome] = {}
 
@@ -342,7 +366,12 @@ def execute_sweep(
     started = time.perf_counter()
     if client is not None:
         _execute_via_service(
-            compiled, client=client, priority=priority, timeout=timeout, emit=emit
+            compiled,
+            client=client,
+            priority=priority,
+            timeout=timeout,
+            retries=service_retries,
+            emit=emit,
         )
         via = getattr(client, "base_url", "service")
     else:

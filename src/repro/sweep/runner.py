@@ -48,6 +48,7 @@ def run_sweep(
     client=None,
     priority: int = 0,
     timeout: float | None = 300.0,
+    service_retries: int = 1,
     out_dir: str | Path | None = None,
     progress: ProgressCallback | None = None,
 ) -> SweepOutput:
@@ -59,7 +60,8 @@ def run_sweep(
     a running service; otherwise execution is local over ``jobs`` worker
     processes with an optional ``cache``/store.  With ``out_dir``, the
     manifest artifacts (``sweep.json``, ``ledger.sha256``, ``SUMMARY.md``)
-    are written there.
+    are written there.  ``service_retries`` grants failed service-path
+    points extra submission rounds before they count as failures.
     """
     if not isinstance(spec, SweepSpec):
         spec = load_sweep_spec(spec)
@@ -71,6 +73,7 @@ def run_sweep(
         client=client,
         priority=priority,
         timeout=timeout,
+        service_retries=service_retries,
         progress=progress,
     )
     rows = aggregate_run(run)

@@ -154,17 +154,15 @@ class TestServiceCommands:
         assert output["code"] == 0
         assert "service stopped" in capsys.readouterr().out
 
-    def test_submit_against_dead_server_raises_service_error(self):
-        import pytest as _pytest
-
+    def test_submit_against_dead_server_exits_nonzero(self, capsys):
         from repro.cli import submit_main
-        from repro.service import ServiceError
 
-        with _pytest.raises(ServiceError):
-            submit_main(
-                ["--url", "http://127.0.0.1:9", "--machine", "reference",
-                 "--benchmark", "tomcatv", "--no-wait"]
-            )
+        code = submit_main(
+            ["--url", "http://127.0.0.1:9", "--machine", "reference",
+             "--benchmark", "tomcatv", "--no-wait"]
+        )
+        assert code == 2
+        assert "service error:" in capsys.readouterr().err
 
     def test_main_routes_service_subcommands(self, monkeypatch):
         import repro.cli as cli

@@ -316,7 +316,9 @@ class TestClientRetries:
         started = time.monotonic()
         with pytest.raises(ServiceError, match="after 3 attempt"):
             client.healthz()
-        assert time.monotonic() - started >= 0.1  # two retry sleeps happened
+        # two backoff sleeps happened: jitter bounds them below by
+        # 0.5 * (interval + 2 * interval) = 1.5 * retry_interval
+        assert time.monotonic() - started >= 0.07
 
     def test_http_errors_are_not_retried(self, client, monkeypatch):
         calls = {"n": 0}
@@ -376,3 +378,140 @@ class TestClientDetails:
             [build_benchmark("tomcatv", scale=1.0), program]
         )
         assert pickle.dumps(result.stats) == pickle.dumps(local.stats)
+
+
+class TestOverloadHTTP:
+    @pytest.fixture()
+    def saturated(self, tmp_path):
+        service = SimulationService(
+            store=None, workers=1, max_pending=1, paused=True
+        )
+        with ServiceServer(service, port=0) as running:
+            overload_client = ServiceClient(running.url, retries=0)
+            overload_client.submit("reference", {"benchmark": "tomcatv", "scale": SCALE})
+            yield running, overload_client
+
+    def test_shed_submission_gets_429_with_retry_after(self, saturated):
+        server, overload_client = saturated
+        with pytest.raises(ServiceError, match="429") as exc:
+            overload_client.submit("reference", {"benchmark": "swm256", "scale": SCALE})
+        assert exc.value.status == 429
+        body = json.dumps({"machine": "reference", "workloads": ["swm256"]}).encode()
+        request = urllib.request.Request(
+            server.url + "/jobs", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as http_exc:
+            urllib.request.urlopen(request)
+        assert http_exc.value.code == 429
+        assert int(http_exc.value.headers["Retry-After"]) >= 1
+        assert "retry_after" in json.loads(http_exc.value.read())
+
+    def test_coalescing_join_is_still_admitted(self, saturated):
+        _, overload_client = saturated
+        joined = overload_client.submit(
+            "reference", {"benchmark": "tomcatv", "scale": SCALE}
+        )
+        assert joined.served_from == "coalesced"
+
+    def test_client_retries_429_until_capacity_returns(self, saturated):
+        # unblocking the queue while a patient client backs off turns its
+        # shed submission into an accepted one — no caller-side handling
+        server, _ = saturated
+        patient = ServiceClient(server.url, retries=4, retry_interval=0.05)
+        release = threading.Timer(0.15, server.service.resume)
+        release.start()
+        try:
+            handle = patient.submit(
+                "reference", {"benchmark": "swm256", "scale": SCALE}
+            )
+            assert handle.job_id
+        finally:
+            release.cancel()
+
+    def test_rejected_counter_in_metrics(self, saturated):
+        server, overload_client = saturated
+        with pytest.raises(ServiceError):
+            overload_client.submit("reference", {"benchmark": "swm256", "scale": SCALE})
+        assert "repro_rejected_total 1" in overload_client.metrics()
+
+
+class TestCancelHTTP:
+    @pytest.fixture()
+    def paused_server(self, tmp_path):
+        service = SimulationService(store=None, workers=1, paused=True)
+        with ServiceServer(service, port=0) as running:
+            yield running
+
+    def test_delete_cancels_queued_job(self, paused_server):
+        cancel_client = ServiceClient(paused_server.url)
+        handle = cancel_client.submit("reference", {"benchmark": "tomcatv", "scale": SCALE})
+        assert handle.cancel() is True
+        assert handle.info()["state"] == "cancelled"
+        from repro.errors import JobCancelled
+
+        with pytest.raises(JobCancelled):
+            handle.wait(timeout=5.0)
+
+    def test_delete_finished_job_conflicts(self, client):
+        handle = client.submit("reference", {"benchmark": "tomcatv", "scale": SCALE})
+        handle.wait(timeout=120.0)
+        assert handle.cancel() is False
+
+    def test_delete_unknown_job_404(self, client):
+        with pytest.raises(ServiceError, match="404"):
+            client.cancel("no-such-job")
+
+
+class TestJobTimeoutHTTP:
+    def test_timeout_field_reaches_the_service(self, tmp_path):
+        service = SimulationService(store=None, workers=1, paused=True)
+        with ServiceServer(service, port=0) as running:
+            timeout_client = ServiceClient(running.url)
+            handle = timeout_client.submit(
+                "reference", {"benchmark": "tomcatv", "scale": SCALE},
+                job_timeout=0.05,
+            )
+            from repro.errors import JobTimeout
+
+            with pytest.raises(JobTimeout):
+                handle.wait(timeout=10.0)
+            assert handle.info()["timeout"] == 0.05
+
+    def test_bad_timeout_is_a_400(self, client):
+        with pytest.raises(ServiceError, match="400"):
+            client.submit(
+                "reference", {"benchmark": "tomcatv", "scale": SCALE},
+                job_timeout=-1.0,
+            )
+
+
+class TestConnResetRetry:
+    def test_injected_reset_is_retried_transparently(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec, clear_fault_plan, set_fault_plan
+
+        service = SimulationService(store=None, workers=1)
+        with ServiceServer(service, port=0) as running:
+            resilient = ServiceClient(running.url, retries=2, retry_interval=0.01)
+            set_fault_plan(
+                FaultPlan([FaultSpec("conn_reset", count=1)]), install_env=False
+            )
+            try:
+                assert resilient.healthz()["status"] == "ok"
+            finally:
+                clear_fault_plan()
+
+    def test_reset_beyond_budget_surfaces(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec, clear_fault_plan, set_fault_plan
+
+        service = SimulationService(store=None, workers=1)
+        with ServiceServer(service, port=0) as running:
+            brittle = ServiceClient(running.url, retries=0)
+            set_fault_plan(
+                FaultPlan([FaultSpec("conn_reset", count=5)]), install_env=False
+            )
+            try:
+                with pytest.raises(ServiceError, match="cannot reach"):
+                    brittle.healthz()
+            finally:
+                clear_fault_plan()

@@ -159,6 +159,88 @@ class TestInvalidation:
         assert store.get(key) is None
 
 
+class TestQuarantine:
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path)
+        store.put(key, result)
+        entry = tmp_path / (key_digest(key) + ENTRY_SUFFIX)
+        entry.write_bytes(b"\x80corrupt garbage")
+        assert store.get(key) is None
+        assert store.quarantined == 1
+        # the bytes survive under the quarantine name, for diagnosis
+        aside = entry.with_name(entry.name + ".corrupt")
+        assert aside.read_bytes() == b"\x80corrupt garbage"
+
+    def test_quarantined_entry_is_never_rescanned(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path)
+        store.put(key, result)
+        entry = tmp_path / (key_digest(key) + ENTRY_SUFFIX)
+        entry.write_bytes(b"\x80corrupt garbage")
+        store.get(key)
+        reopened = ResultStore(tmp_path)  # rescans the directory
+        assert len(reopened) == 0
+        assert reopened.get(key) is None
+        assert reopened.quarantined == 0  # a miss, not a re-quarantine
+
+    def test_clean_rewrite_after_quarantine(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path)
+        store.put(key, result)
+        entry = tmp_path / (key_digest(key) + ENTRY_SUFFIX)
+        entry.write_bytes(b"\x80corrupt garbage")
+        store.get(key)
+        store.put(key, result)  # the original path is free again
+        assert store.get(key) is not None
+        assert store.quarantined == 1
+
+    def test_stale_entries_are_deleted_not_quarantined(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        old = ResultStore(tmp_path, fingerprint="repro-0.0-old")
+        old.put(key, result)
+        current = ResultStore(tmp_path)
+        assert current.get(key) is None
+        assert current.quarantined == 0  # stale, parseable: plain delete
+        assert list(tmp_path.glob("*.corrupt")) == []
+
+    def test_stats_report_quarantines(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        store = ResultStore(tmp_path)
+        store.put(key, result)
+        (tmp_path / (key_digest(key) + ENTRY_SUFFIX)).write_bytes(b"junk")
+        store.get(key)
+        assert store.stats()["quarantined"] == 1
+
+
+class TestSharedDirectory:
+    def test_sibling_stores_evict_without_racing(self, tmp_path, run_and_key):
+        # two store instances on one directory stand in for two service
+        # processes; interleaved over-bound puts must stay consistent (the
+        # advisory lock serializes eviction) and never raise
+        result, key = run_and_key
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        bound = 3 * len(payload)
+        a = ResultStore(tmp_path, max_bytes=bound)
+        b = ResultStore(tmp_path, max_bytes=bound)
+        for turn in range(8):
+            (a if turn % 2 == 0 else b).put_bytes(_fake_key(f"k{turn}"), payload)
+        # each instance's own index respects the bound
+        assert a.total_bytes() <= bound + len(payload)
+        assert b.total_bytes() <= bound + len(payload)
+
+    def test_missing_victim_is_tolerated(self, tmp_path, run_and_key):
+        result, key = run_and_key
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        store = ResultStore(tmp_path, max_bytes=3 * len(payload))
+        for index in range(3):
+            store.put_bytes(_fake_key(f"k{index}"), payload)
+        # a sibling evicted a file underneath this instance's index
+        victims = sorted(tmp_path.glob("*" + ENTRY_SUFFIX))
+        victims[0].unlink()
+        store.put_bytes(_fake_key("k-final"), payload)  # must not raise
+
+
 class TestHousekeeping:
     def test_clear_empties_directory_and_counters(self, tmp_path, run_and_key):
         result, key = run_and_key

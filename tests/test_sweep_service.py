@@ -84,3 +84,59 @@ class TestSweepViaService:
         counts = run.counts()
         assert counts["failed"] == counts["points"] == 4
         assert all("cannot reach" in outcome.error for outcome in run.failures())
+
+
+class TestServiceRetries:
+    class _FlakyClient:
+        """Stub client: every point's first submission is shed, retries work."""
+
+        base_url = "stub://flaky"
+
+        def __init__(self, payload: bytes) -> None:
+            self.payload = payload
+            self.attempts: dict[str, int] = {}
+
+        def submit_request(self, request, priority=0, **_kwargs):
+            from repro.service import ServiceError
+
+            key = repr(request.cache_key())
+            self.attempts[key] = self.attempts.get(key, 0) + 1
+            if self.attempts[key] == 1:
+                raise ServiceError("HTTP 429: shed", status=429)
+            outer = self
+
+            class _Handle:
+                served_from = "executed"
+                job_id = key
+
+                def result_bytes(self, timeout=None):
+                    return outer.payload
+
+            return _Handle()
+
+    def test_failed_points_are_resubmitted(self):
+        import pickle
+
+        payload = pickle.dumps("stand-in result")
+        flaky = self._FlakyClient(payload)
+        run = execute_sweep(
+            compile_sweep(SPEC), client=flaky, service_retries=1
+        )
+        assert run.counts()["failed"] == 0
+        assert all(outcome.payload == payload for outcome in run.outcomes)
+        assert all(count == 2 for count in flaky.attempts.values())
+
+    def test_without_retries_shed_points_stay_failed(self):
+        import pickle
+
+        flaky = self._FlakyClient(pickle.dumps("unused"))
+        run = execute_sweep(
+            compile_sweep(SPEC), client=flaky, service_retries=0
+        )
+        assert run.counts()["failed"] == run.counts()["points"]
+
+    def test_negative_retries_rejected(self):
+        from repro.errors import SweepError
+
+        with pytest.raises(SweepError, match="service_retries"):
+            execute_sweep(compile_sweep(SPEC), client=object(), service_retries=-1)
