@@ -43,7 +43,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.api import SimulationRequest, run_batch
+from repro.api import SimulationRequest, run_batch, usable_cpus
 from repro.core.config import MachineConfig
 from repro.core.multithreaded import MultithreadedSimulator
 from repro.core.reference import ReferenceSimulator
@@ -494,34 +494,117 @@ def measure_service_overload(repeats: int) -> list[dict]:
     ]
 
 
-def measure_batch_scaling(repeats: int) -> list[dict]:
-    """Wall time of the fixed request list under 1, 2 and 4 worker processes."""
+def batch_scaling_requests() -> list[SimulationRequest]:
+    """The fixed request list the batch-scaling rows execute."""
     suite = build_suite(scale=BATCH_SCALE)
-    requests = [
+    return [
         SimulationRequest.single(
             "reference", program, memory_latency=latency, tag=f"{name}@{latency}"
         )
         for latency in BATCH_LATENCIES
         for name, program in suite.items()
     ]
+
+
+def time_batch_levels(
+    requests: list[SimulationRequest], repeats: int
+) -> dict[int, float]:
+    """Best-of-``repeats`` batch wall time per jobs level, rounds interleaved.
+
+    Timing each level's repeats back to back confuses host drift with
+    scaling: on a noisy shared host, a slowdown arriving after the ``jobs=1``
+    block finishes makes every parallel row look worse than it is (and vice
+    versa).  Interleaving round-robin spreads the drift over all levels, so
+    the best-of ratios the gate compares are taken from comparable windows.
+    """
+    best = {jobs: float("inf") for jobs in BATCH_JOBS}
+    for _ in range(max(1, repeats)):
+        for jobs in BATCH_JOBS:
+            start = time.perf_counter()
+            run_batch(requests, jobs=jobs)
+            best[jobs] = min(best[jobs], time.perf_counter() - start)
+    return best
+
+
+def measure_batch_scaling(repeats: int) -> list[dict]:
+    """Wall time of the fixed request list under 1, 2 and 4 worker processes.
+
+    ``run_batch`` caps its effective worker count at the host's usable CPUs
+    (over-subscription degrades to the serial path, not to a slowdown), so
+    each row also records how many CPUs the measuring host granted — that is
+    what :func:`check_batch_scaling` needs to know which monotonicity bound
+    applies.  A warm-up parallel batch runs outside the timed region so the
+    rows measure steady-state batches over the persistent pool, not the
+    once-per-process worker spawn.
+    """
+    requests = batch_scaling_requests()
     total_instructions = sum(
         result.instructions for result in run_batch(requests, jobs=1)
     )
+    cpus = usable_cpus()
+    run_batch(requests, jobs=max(BATCH_JOBS))  # spawn the shared pool once
+    timings = time_batch_levels(requests, repeats)
     entries = []
     for jobs in BATCH_JOBS:
-        seconds = _time_run(lambda: run_batch(requests, jobs=jobs), repeats)
+        seconds = timings[jobs]
         entries.append(
             {
                 "benchmark": "batch_scaling",
                 "model": "reference",
                 "workload": f"suite@{BATCH_SCALE}x{len(requests)}",
                 "jobs": jobs,
+                "cpus": cpus,
                 "instructions": total_instructions,
                 "seconds": round(seconds, 6),
                 "instrs_per_sec": round(total_instructions / seconds, 1),
             }
         )
     return entries
+
+
+#: Parallel rows may not fall below this fraction of the jobs=1 row, even on
+#: hosts with too few CPUs to speed up (there they run the same serial path,
+#: so anything below this bound is real dispatch overhead, not noise).
+BATCH_OVERHEAD_FLOOR = 0.9
+
+
+def check_batch_scaling(entries: list[dict]) -> list[str]:
+    """Hard monotonicity gate on the ``batch_scaling`` rows of one document.
+
+    Within one document every row ran on the same host, so instrs/sec compare
+    directly (host-normalized by construction).  On a host with 4+ usable
+    CPUs, ``jobs=4`` must be at least as fast as ``jobs=1`` and ``jobs=2`` at
+    least ``BATCH_OVERHEAD_FLOOR`` of it; hosts with fewer CPUs cap the pool,
+    so the corresponding rows degrade to the serial path and are only held to
+    the overhead floor.  Returns failure messages (empty = pass).
+    """
+    rows = {
+        entry["jobs"]: entry
+        for entry in entries
+        if entry.get("benchmark") == "batch_scaling"
+    }
+    if 1 not in rows:
+        return []
+    base = rows[1]["instrs_per_sec"]
+    if base <= 0:
+        return []
+    failures = []
+    for jobs, entry in sorted(rows.items()):
+        if jobs == 1:
+            continue
+        cpus = entry.get("cpus") or 1
+        # full monotone speedup is only demanded of rows the host could
+        # actually parallelize; capped rows must still not regress
+        floor = 1.0 if (jobs == 4 and cpus >= 4) else BATCH_OVERHEAD_FLOOR
+        ratio = entry["instrs_per_sec"] / base
+        if ratio < floor:
+            failures.append(
+                f"batch_scaling jobs={jobs}: {entry['instrs_per_sec']:,.0f} "
+                f"instrs/s is {ratio:.2f}x the jobs=1 row "
+                f"({base:,.0f}); required >= {floor:.2f}x on a "
+                f"{cpus}-CPU host"
+            )
+    return failures
 
 
 def collect(repeats: int, *, dirty: bool = False) -> dict:
@@ -547,6 +630,7 @@ def collect(repeats: int, *, dirty: bool = False) -> dict:
         "git_rev": _git_rev() + ("-dirty" if dirty else ""),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpus": usable_cpus(),
         "measured_at_unix": int(time.time()),
         "calibration_ops_per_sec": _calibration_score(),
         "entries": entries,
@@ -556,8 +640,10 @@ def collect(repeats: int, *, dirty: bool = False) -> dict:
 # --------------------------------------------------------------------------- #
 # regression gate
 # --------------------------------------------------------------------------- #
-#: Benchmarks compared by the regression gate (batch-scaling rows measure
-#: process-pool behaviour dominated by CI core counts; record only).
+#: Benchmarks compared against the committed baseline by the regression gate.
+#: The batch-scaling rows are dominated by the measuring host's core count, so
+#: they are NOT compared across baselines — instead ``check_batch_scaling``
+#: gates them *within* the fresh document, where every row shares one host.
 GATED_BENCHMARKS = (
     "single_run_throughput",
     "stats_finalize",
@@ -691,7 +777,9 @@ def main(argv: list[str] | None = None) -> int:
     document = collect(args.repeats, dirty=dirty)
     print(render_table(document))
 
-    failures: list[str] = []
+    # within-document hard gate: adding workers must never make the batch
+    # suite slower (this is what keeps the negative-scaling regression out)
+    failures: list[str] = check_batch_scaling(document["entries"])
     if args.check_against is not None:
         if not args.check_against.exists():
             # An explicitly requested gate with no baseline must not pass
@@ -703,7 +791,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
         baseline = json.loads(args.check_against.read_text())
-        failures = check_regression(document, baseline, args.max_regression)
+        failures += check_regression(document, baseline, args.max_regression)
 
     args.output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"\nwrote {args.output}")

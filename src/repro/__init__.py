@@ -48,9 +48,11 @@ from repro.api import (
     Machine,
     RunCache,
     SimulationRequest,
+    WorkerPool,
     model_names,
     register_model,
     run_batch,
+    usable_cpus,
 )
 from repro.core import (
     DualScalarSimulator,
@@ -90,7 +92,7 @@ from repro.sweep import (
 )
 from repro.workloads import build_benchmark, build_suite, build_workload
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AssemblyError",
@@ -121,6 +123,7 @@ __all__ = [
     "SweepError",
     "SweepSpec",
     "TraceError",
+    "WorkerPool",
     "WorkloadError",
     "__version__",
     "build_benchmark",
@@ -133,4 +136,5 @@ __all__ = [
     "run_batch",
     "run_sweep",
     "simulate_program",
+    "usable_cpus",
 ]

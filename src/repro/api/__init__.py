@@ -24,6 +24,12 @@ from repro.api.cache import (
     request_key,
 )
 from repro.api.machine import Machine, MachineBackend
+from repro.api.pool import (
+    WorkerPool,
+    get_shared_pool,
+    shutdown_shared_pool,
+    usable_cpus,
+)
 from repro.api.registry import (
     ModelEntry,
     model_descriptions,
@@ -40,13 +46,17 @@ __all__ = [
     "ModelEntry",
     "RunCache",
     "SimulationRequest",
+    "WorkerPool",
     "fingerprint_config",
     "fingerprint_workload",
+    "get_shared_pool",
     "model_descriptions",
     "model_names",
     "register_model",
     "request_key",
     "resolve_model",
     "run_batch",
+    "shutdown_shared_pool",
     "unregister_model",
+    "usable_cpus",
 ]

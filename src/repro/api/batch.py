@@ -1,4 +1,4 @@
-"""Batched simulation: fan independent runs out over worker processes.
+"""Batched simulation: fan independent runs out over warm worker processes.
 
 The paper's evaluation is hundreds of independent simulations (ten programs ×
 four machines × a grid of memory latencies); this module executes such a set
@@ -8,38 +8,72 @@ as one *batch*:
   simulation — which machine (registry name or
   :class:`~repro.core.config.MachineConfig`), which workloads, and which
   execution mode (``single`` / ``group`` / ``queue``);
-* :func:`run_batch` executes a sequence of requests, optionally over a
-  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=N``), and returns
-  the results **in request order** regardless of which worker finished first,
-  so parallel and serial execution are result-for-result identical;
-* an optional :class:`~repro.api.cache.RunCache` short-circuits requests whose
-  (configuration, workload, mode) content hash was already simulated —
-  including duplicates *within* one batch, which are simulated only once.
+* :func:`run_batch` executes a sequence of requests, fanning the work out
+  over the persistent shared :class:`~repro.api.pool.WorkerPool` when
+  ``jobs > 1``, and returns the results **in request order** regardless of
+  which worker finished first, so parallel and serial execution are
+  result-for-result identical;
+* requests are **deduplicated by content key** first (duplicates within one
+  batch simulate exactly once) and an optional
+  :class:`~repro.api.cache.RunCache` / result store short-circuits requests
+  whose (configuration, workload, mode) content hash was simulated before;
+* shipped requests are **chunked** by an instruction-count estimate, so tiny
+  simulations share one worker round trip instead of paying per-job IPC;
+* results travel back **out of band**: workers encode them as raw-bytes
+  frames (:meth:`~repro.core.results.SimulationResult.to_frame`) — via a
+  ``multiprocessing.shared_memory`` block above ``REPRO_SHM_MIN_BYTES`` —
+  and the parent adopts the flat buffers zero-copy.  ``REPRO_PICKLE_RESULTS=1``
+  selects the classic whole-result pickle path instead (byte-identical to an
+  in-process run, which is what ledger/store consumers hash).
 
-Requests that cannot be pickled (e.g. a :class:`~repro.core.suppliers.Job`
-built around a closure) are transparently executed in-process instead of
-being shipped to a worker.
+``jobs`` is an upper bound: the effective worker count is additionally
+capped by the CPUs this process may run on, so over-subscribing a small host
+degrades to serial execution instead of to a slowdown.  Requests that cannot
+be pickled (e.g. a :class:`~repro.core.suppliers.Job` built around a
+closure) are transparently executed in-process.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import threading
+import weakref
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
 
 from repro.api.cache import RunCache, request_key
 from repro.api.machine import BUILTIN_MODEL_NAMES, Machine
+from repro.api.pool import WorkerPool, get_shared_pool, usable_cpus
 from repro.core.config import MachineConfig
 from repro.core.results import SimulationResult
 from repro.core.suppliers import Job
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.faults import inject_slow_execute, inject_worker_crash
 from repro.trace.records import TraceSet
 from repro.workloads.program import Program
 
 __all__ = ["BatchRunner", "SimulationRequest", "run_batch"]
+
+#: Force whole-result pickles instead of out-of-band frames (set in the
+#: parent; the pool respawns its workers when it changes).
+PICKLE_RESULTS_ENV = "REPRO_PICKLE_RESULTS"
+
+#: Result frames at or above this many bytes ship through a
+#: ``multiprocessing.shared_memory`` block instead of the executor's result
+#: queue (override with the env var of the same name).
+SHM_MIN_BYTES_ENV = "REPRO_SHM_MIN_BYTES"
+DEFAULT_SHM_MIN_BYTES = 256 * 1024
+
+#: Instruction estimate for workloads that cannot be sized cheaply.
+DEFAULT_INSTRUCTION_ESTIMATE = 10_000
+
+#: Target chunks per pool worker (> 1 so chunk imbalance can level out).
+CHUNKS_PER_WORKER = 2
 
 Workload = Job | Program | TraceSet
 
@@ -187,13 +221,8 @@ def _execute_request(request: SimulationRequest) -> SimulationResult:
     return machine.run_queue(request.workloads)
 
 
-def _execute_pickled(payload: bytes) -> SimulationResult:
-    """Worker-process entry point: requests arrive pre-pickled by the parent."""
-    return _execute_request(pickle.loads(payload))
-
-
-def _execute_request_to_bytes(request: SimulationRequest) -> bytes:
-    """Run one request and pickle the result where it was produced.
+def _result_to_bytes(result: SimulationResult) -> bytes:
+    """The canonical payload bytes of a result.
 
     Pickling in the producing process keeps payload bytes canonical: the
     result's object graph still has its natural sharing (interned strings,
@@ -201,9 +230,16 @@ def _execute_request_to_bytes(request: SimulationRequest) -> bytes:
     no matter which process ran them.  Re-pickling a result after it crossed
     a process boundary loses that sharing and changes the bytes — which is
     exactly what content-hashed ledgers and byte-compared stores must avoid.
+    Every path that turns a result into stored bytes (local fallback, pooled
+    worker, sweep executor, service) goes through this one helper.
     """
+    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _execute_request_to_bytes(request: SimulationRequest) -> bytes:
+    """Run one request and pickle the result where it was produced."""
     inject_slow_execute()
-    return pickle.dumps(_execute_request(request), protocol=pickle.HIGHEST_PROTOCOL)
+    return _result_to_bytes(_execute_request(request))
 
 
 def _execute_pickled_to_bytes(payload: bytes) -> bytes:
@@ -236,78 +272,328 @@ def _ship_payload(request: SimulationRequest) -> bytes | None:
         return None
 
 
+# --------------------------------------------------------------------------- #
+# chunk planning
+# --------------------------------------------------------------------------- #
+def _estimate_instructions(request: SimulationRequest) -> int:
+    """A cheap instruction-count estimate used only to balance chunks.
+
+    Programs know their dynamic instruction count; trace sets are sized by
+    their record counts; opaque :class:`~repro.core.suppliers.Job` workloads
+    get a flat default.  The estimate never affects results — only which
+    worker round trip a request shares.
+    """
+    total = 0
+    for workload in request.workloads:
+        if isinstance(workload, Program):
+            total += workload.dynamic_instruction_count
+        elif isinstance(workload, TraceSet):
+            total += len(workload.block_trace) + len(workload.memref_trace)
+        else:
+            total += DEFAULT_INSTRUCTION_ESTIMATE
+    if request.instruction_limit is not None:
+        total = min(total, request.instruction_limit) or request.instruction_limit
+    return max(total, 1)
+
+
+def _plan_chunks(
+    indexes: Sequence[int], requests: Sequence[SimulationRequest], workers: int
+) -> list[list[int]]:
+    """Pack request indexes into at most ``workers × CHUNKS_PER_WORKER`` chunks.
+
+    Longest-processing-time greedy: requests are assigned largest-first to
+    the currently lightest chunk, so a batch of many tiny runs shares a few
+    round trips while one huge run still gets a chunk of its own.
+    """
+    target = min(len(indexes), max(1, workers) * CHUNKS_PER_WORKER)
+    if target <= 1:
+        return [list(indexes)]
+    weights = {index: _estimate_instructions(requests[index]) for index in indexes}
+    order = sorted(indexes, key=lambda index: (-weights[index], index))
+    loads = [0] * target
+    chunks: list[list[int]] = [[] for _ in range(target)]
+    for index in order:
+        slot = loads.index(min(loads))
+        chunks[slot].append(index)
+        loads[slot] += weights[index]
+    return [chunk for chunk in chunks if chunk]
+
+
+# --------------------------------------------------------------------------- #
+# out-of-band result shipping (worker side encodes, parent side decodes)
+# --------------------------------------------------------------------------- #
+def _shm_min_bytes() -> int:
+    value = os.environ.get(SHM_MIN_BYTES_ENV)
+    if value:
+        try:
+            return int(value)
+        except ValueError:
+            pass
+    return DEFAULT_SHM_MIN_BYTES
+
+
+_shm_patch_lock = threading.Lock()
+
+
+@contextmanager
+def _tracker_silenced():
+    """Keep the multiprocessing resource tracker out of result-block bookkeeping.
+
+    Ownership of result blocks is explicit — the worker creates, the parent
+    unlinks when the adopted result dies — so neither side may let the
+    resource tracker unlink (or double-account) the block behind our back.
+    Before 3.13 there is no ``track=False`` (and *attaching* registers too);
+    briefly no-op'ing ``register``/``unregister`` keeps the tracker entirely
+    out of the loop on both sides, for creation, attach and unlink alike.
+    """
+    with _shm_patch_lock:
+        register, unregister = resource_tracker.register, resource_tracker.unregister
+        resource_tracker.register = lambda name, rtype: None
+        resource_tracker.unregister = lambda name, rtype: None
+        try:
+            yield
+        finally:
+            resource_tracker.register = register
+            resource_tracker.unregister = unregister
+
+
+def _shm_open_untracked(**kwargs):
+    """Create or attach a shared-memory block without tracker registration."""
+    with _tracker_silenced():
+        return shared_memory.SharedMemory(**kwargs)
+
+
+def _frame_to_shm(frame: bytes) -> tuple[str, int] | None:
+    """Write ``frame`` into a fresh shared-memory block; ``None`` if that fails."""
+    try:
+        block = _shm_open_untracked(create=True, size=len(frame))
+    except OSError:  # pragma: no cover - /dev/shm unavailable or full
+        return None
+    block.buf[: len(frame)] = frame
+    name = block.name
+    block.close()
+    return name, len(frame)
+
+
+def _encode_result(result: SimulationResult, want_bytes: bool) -> tuple:
+    """Encode one result for the trip back to the parent (worker side).
+
+    Returns one of three tagged tuples: ``("P", pickle)`` — the canonical
+    whole-result pickle (requested by the parent for byte-stores, forced by
+    ``REPRO_PICKLE_RESULTS=1``, or the fallback for non-flat recorders);
+    ``("F", frame)`` — a raw-bytes result frame; ``("S", name, size)`` — the
+    name of a shared-memory block holding the frame, used for large frames.
+    """
+    if want_bytes or os.environ.get(PICKLE_RESULTS_ENV):
+        return ("P", _result_to_bytes(result))
+    frame = result.to_frame()
+    if frame is None:
+        return ("P", _result_to_bytes(result))
+    if len(frame) >= _shm_min_bytes():
+        shipped = _frame_to_shm(frame)
+        if shipped is not None:
+            return ("S", *shipped)
+    return ("F", frame)
+
+
+def _release_shm(block) -> None:
+    """Finalizer for adopted shared-memory results: close and unlink.
+
+    The finalizer fires while the dying result's recorders (and their views
+    into the block) are still being torn down, so ``close`` routinely sees
+    exported buffers.  In that case the mapping is reclaimed when the last
+    view dies — we just disarm the handle so its ``__del__`` stays quiet —
+    and the block is unlinked either way.
+    """
+    try:
+        block.close()
+    except BufferError:
+        block._buf = None
+        block._mmap = None  # the views keep the mapping alive until they die
+    try:
+        with _tracker_silenced():
+            block.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def _decode_result(encoded: tuple) -> tuple[SimulationResult, bytes | None]:
+    """Decode a worker's tagged result (parent side).
+
+    Returns ``(result, payload)`` where ``payload`` is the canonical pickle
+    when the worker shipped one (so byte-stores can record it unchanged) and
+    ``None`` for out-of-band frames.
+    """
+    tag = encoded[0]
+    if tag == "P":
+        payload = encoded[1]
+        return pickle.loads(payload), payload
+    if tag == "F":
+        return SimulationResult.from_frame(encoded[1]), None
+    if tag == "S":
+        name, size = encoded[1], encoded[2]
+        block = _shm_open_untracked(name=name)
+        result = SimulationResult.from_frame(block.buf[:size])
+        # The result's recorders view directly into the block; keep it mapped
+        # until the result is garbage, then unlink it.
+        weakref.finalize(result, _release_shm, block)
+        return result, None
+    raise SimulationError(f"unknown result encoding tag {tag!r}")
+
+
+def _execute_chunk(payloads: list[bytes], want_bytes: bool) -> tuple[int, list]:
+    """Worker-process entry point: run a chunk of pre-pickled requests.
+
+    Returns ``(worker_pid, encoded_results)`` with the results in chunk
+    order.  The ``worker_crash`` fault hooks only this pool entry point —
+    never the in-process fallback — so a crash-looping fault plan still lets
+    the local retry complete the batch.
+    """
+    inject_worker_crash()
+    encoded = []
+    for payload in payloads:
+        inject_slow_execute()
+        encoded.append(_encode_result(_execute_request(pickle.loads(payload)), want_bytes))
+    return os.getpid(), encoded
+
+
+def _run_chunks_on_pool(
+    pool: WorkerPool,
+    chunks: list[list[int]],
+    payloads: dict[int, bytes],
+    want_bytes: bool,
+) -> tuple[dict[int, tuple], list[int]]:
+    """Run every chunk on the pool, riding out one worker-crash respawn.
+
+    Returns ``(encoded_by_index, failed_indexes)``.  A ``BrokenProcessPool``
+    fails every chunk in flight; the pool is respawned and the failed chunks
+    retried once.  Indexes whose chunks failed twice (a crash-looping fault
+    plan) are handed back for in-process execution.
+    """
+    encoded: dict[int, tuple] = {}
+    remaining = chunks
+    for attempt in range(2):
+        futures = [
+            (chunk, pool.submit(_execute_chunk, [payloads[i] for i in chunk], want_bytes))
+            for chunk in remaining
+        ]
+        failed: list[list[int]] = []
+        for chunk, future in futures:
+            try:
+                _, items = future.result()
+            except BrokenProcessPool:
+                failed.append(chunk)
+            else:
+                for index, item in zip(chunk, items):
+                    encoded[index] = item
+        remaining = failed
+        if not remaining:
+            break
+        if attempt == 0:
+            pool.respawn_broken()
+    return encoded, [index for chunk in remaining for index in chunk]
+
+
 def run_batch(
     requests: Iterable[SimulationRequest],
     *,
     jobs: int = 1,
     cache: RunCache | None = None,
+    pool: WorkerPool | None = None,
 ) -> list[SimulationResult]:
     """Execute every request and return the results in request order.
 
-    ``jobs`` bounds the number of worker processes; ``jobs=1`` (the default)
-    runs everything serially in-process.  Results are deterministic: entry
-    *i* of the returned list always belongs to request *i*, and a parallel
-    batch produces exactly the same results as a serial one.
+    ``jobs`` bounds the number of worker processes; the effective bound is
+    ``min(jobs, usable_cpus())``, so asking for more workers than the host
+    has CPUs degrades to serial in-process execution rather than to a
+    slowdown.  Passing an explicit ``pool`` bypasses the CPU cap and uses
+    that pool as-is (the pool stays warm for the caller); otherwise parallel
+    batches share the process-wide pool from
+    :func:`~repro.api.pool.get_shared_pool`.
+
+    Results are deterministic: entry *i* of the returned list always belongs
+    to request *i*, duplicate requests (same content key) simulate once per
+    batch, and a parallel batch produces exactly the same results as a
+    serial one.
     """
     requests = list(requests)
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
     results: list[SimulationResult | None] = [None] * len(requests)
+    want_bytes = cache is not None and hasattr(cache, "put_bytes")
+    get_bytes = getattr(cache, "get_bytes", None) if want_bytes else None
 
-    # Resolve cache hits (and duplicates within the batch) first.
+    # Resolve cache hits and within-batch duplicates first: every request is
+    # content-keyed, and only one representative per key executes.
     pending: list[int] = []
-    keys: list[tuple | None] = [None] * len(requests)
+    keys: list[tuple] = []
     primary_for_key: dict[tuple, int] = {}
     duplicates: list[int] = []
-    if cache is not None:
-        for index, request in enumerate(requests):
-            key = request.cache_key()
-            keys[index] = key
-            hit = cache.get(key)
+    for index, request in enumerate(requests):
+        key = request.cache_key()
+        keys.append(key)
+        if cache is not None:
+            if get_bytes is not None:
+                blob = get_bytes(key)
+                hit = None if blob is None else pickle.loads(blob)
+            else:
+                hit = cache.get(key)
             if hit is not None:
                 results[index] = hit
-            elif key in primary_for_key:
-                duplicates.append(index)
-            else:
-                primary_for_key[key] = index
-                pending.append(index)
-    else:
-        pending = list(range(len(requests)))
+                continue
+        if key in primary_for_key:
+            duplicates.append(index)
+        else:
+            primary_for_key[key] = index
+            pending.append(index)
 
-    # Execute the misses: over a process pool when asked to, in-process
-    # otherwise (and always in-process for unpicklable requests).
-    local: list[int] = []
-    if jobs > 1 and len(pending) > 1:
+    # Pick the execution vehicle for the misses.  An explicit pool is used
+    # as given; otherwise `jobs` is capped by the CPUs we may run on, and the
+    # process-wide shared pool keeps its workers warm across batches.
+    worker_pool: WorkerPool | None = None
+    if pool is not None and pending:
+        worker_pool = pool
+    elif jobs > 1 and len(pending) > 1:
+        workers = min(jobs, usable_cpus())
+        if workers > 1:
+            worker_pool = get_shared_pool(workers)
+
+    local: list[int] = list(pending)
+    payload_bytes: dict[int, bytes] = {}
+    if worker_pool is not None:
         payloads = {index: _ship_payload(requests[index]) for index in pending}
         shippable = [index for index in pending if payloads[index] is not None]
         local = [index for index in pending if payloads[index] is None]
-        if len(shippable) > 1:
-            workers = min(jobs, len(shippable))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for index, result in zip(
-                    shippable,
-                    pool.map(_execute_pickled, [payloads[i] for i in shippable]),
-                ):
-                    results[index] = result
-        else:
-            local = pending
-    else:
-        local = pending
+        if shippable:
+            chunks = _plan_chunks(shippable, requests, worker_pool.workers)
+            encoded, crashed = _run_chunks_on_pool(
+                worker_pool, chunks, payloads, want_bytes
+            )
+            for index, item in encoded.items():
+                result, payload = _decode_result(item)
+                results[index] = result
+                if payload is not None:
+                    payload_bytes[index] = payload
+            local.extend(crashed)  # crash-looping plan: finish in-process
+            local.sort()
     for index in local:
-        results[index] = _execute_request(requests[index])
+        if want_bytes:
+            payload_bytes[index] = _execute_request_to_bytes(requests[index])
+            results[index] = pickle.loads(payload_bytes[index])
+        else:
+            results[index] = _execute_request(requests[index])
 
-    # Record the fresh results and materialize within-batch duplicates.
-    # Result pickles are compact — columnar statistics ship their flat
-    # integer buffers as raw bytes — which keeps both the worker IPC above
-    # and this duplicate materialization cheap.
+    # Record the fresh results, then materialize within-batch duplicates as
+    # independent copies of their primary.
     if cache is not None:
         for index in pending:
-            cache.put(keys[index], results[index])
-        for index in duplicates:
-            primary = results[primary_for_key[keys[index]]]
-            results[index] = pickle.loads(
-                pickle.dumps(primary, protocol=pickle.HIGHEST_PROTOCOL)
-            )
+            if want_bytes:
+                cache.put_bytes(keys[index], payload_bytes[index])
+            else:
+                cache.put(keys[index], results[index])
+    for index in duplicates:
+        primary = results[primary_for_key[keys[index]]]
+        results[index] = pickle.loads(_result_to_bytes(primary))
     return results  # type: ignore[return-value]
 
 
@@ -326,10 +612,13 @@ class BatchRunner:
 
     jobs: int = 1
     cache: RunCache | None = field(default_factory=RunCache)
+    #: Optional explicit :class:`~repro.api.pool.WorkerPool`; ``None`` means
+    #: parallel batches share the process-wide pool (CPU-capped).
+    pool: WorkerPool | None = None
 
     def run(self, requests: Iterable[SimulationRequest]) -> list[SimulationResult]:
         """Execute the requests with this runner's parallelism and cache."""
-        return run_batch(requests, jobs=self.jobs, cache=self.cache)
+        return run_batch(requests, jobs=self.jobs, cache=self.cache, pool=self.pool)
 
     def run_one(self, request: SimulationRequest) -> SimulationResult:
         """Execute a single request (serially, but through the shared cache)."""

@@ -369,8 +369,29 @@ class Machine:
         key = request_key(self.config, "queue", workloads)
         return self._cached(key, lambda: self._backend.run_queue(workloads))
 
-    def run_sequence(self, workloads: Sequence[Workload]) -> list[SimulationResult]:
-        """Run each workload alone, one after another (fresh machine each time)."""
+    def run_sequence(
+        self, workloads: Sequence[Workload], *, jobs: int = 1
+    ) -> list[SimulationResult]:
+        """Run each workload alone (fresh machine each time), in workload order.
+
+        With ``jobs > 1`` the runs fan out through :func:`~repro.api.batch.
+        run_batch` — the shared worker pool, chunking and CPU capping
+        included — sharing this machine's cache.  Fan-out requires the
+        backend to be reconstructible from its configuration (true for every
+        built-in simulated model); otherwise the sequence quietly runs
+        serially in-process.
+        """
+        if jobs > 1 and len(workloads) > 1:
+            # local import: batch imports this module
+            from repro.api.batch import SimulationRequest, run_batch
+
+            rebuilt = Machine.from_config(self.config)
+            if type(rebuilt._backend) is type(self._backend):
+                requests = [
+                    SimulationRequest(machine=self.config, workloads=(workload,))
+                    for workload in workloads
+                ]
+                return run_batch(requests, jobs=jobs, cache=self.cache)
         return [self.run(workload) for workload in workloads]
 
 

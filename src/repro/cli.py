@@ -77,7 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="fan simulations out over N worker processes (default: 1, serial)",
+        help=(
+            "fan simulations out over up to N warm worker processes "
+            "(capped by usable CPUs; default: 1, serial)"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -300,7 +303,10 @@ def sweep_main(argv: Sequence[str]) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="local worker processes (ignored with --via-service; default: 1)",
+        help=(
+            "local worker processes, capped by usable CPUs "
+            "(ignored with --via-service; default: 1)"
+        ),
     )
     parser.add_argument(
         "--store-dir", default=None, metavar="DIR",

@@ -41,6 +41,11 @@ class HardwareContext:
         self.stats = ThreadStats(thread_id=thread_id)
         self.instruction_limit = instruction_limit
         self._stream: Iterator[Instruction] | None = None
+        # Index cursor over a flat instruction tuple; the fast path for
+        # program-backed jobs (interned expansions).  ``_stream`` is the
+        # generator fallback for trace replays and arbitrary factories.
+        self._sequence: tuple[Instruction, ...] | None = None
+        self._cursor = 0
         self._head: Instruction | None = None
         self._finished = False
         self._current_job: Job | None = None
@@ -85,22 +90,37 @@ class HardwareContext:
             self._finished = True
             return None
         while self._head is None:
-            if self._stream is None:
+            if self._stream is None and self._sequence is None:
                 job = self.supplier.next_job()
                 if job is None:
                     self._finished = True
                     return None
                 self._current_job = job
-                self._stream = job.open_stream()
+                sequence = job.open_sequence()
+                if sequence is not None:
+                    self._sequence = sequence
+                    self._cursor = 0
+                else:
+                    self._stream = job.open_stream()
                 self.stats.jobs.append(
                     JobRecord(program=job.name, thread_id=self.thread_id, start_cycle=now)
                 )
                 self.job_ordinal = len(self.stats.jobs) - 1
-            try:
-                self._head = next(self._stream)
-            except StopIteration:
-                self._close_current_job(now, completed=True)
-                self._stream = None
+            if self._sequence is not None:
+                # index cursor over the flat (interned) expansion: no
+                # generator frame, no StopIteration, per instruction
+                if self._cursor < len(self._sequence):
+                    self._head = self._sequence[self._cursor]
+                    self._cursor += 1
+                else:
+                    self._close_current_job(now, completed=True)
+                    self._sequence = None
+            else:
+                try:
+                    self._head = next(self._stream)
+                except StopIteration:
+                    self._close_current_job(now, completed=True)
+                    self._stream = None
         return self._head
 
     def _close_current_job(self, now: int, *, completed: bool) -> None:

@@ -69,6 +69,23 @@ class Job:
         """Create a fresh dynamic instruction stream for one execution."""
         return iter(self._stream_factory())
 
+    def open_sequence(self) -> tuple[Instruction, ...] | None:
+        """The job's instructions as a flat random-access tuple, when possible.
+
+        Program- and frozen-tuple-backed jobs expose their (interned)
+        expansion directly, so hardware contexts can walk it with an index
+        cursor instead of paying a generator frame per fetched instruction.
+        Trace replays and arbitrary stream factories return ``None``; those
+        jobs run through :meth:`open_stream`.
+        """
+        factory = self._stream_factory
+        if isinstance(factory, _FrozenStreamFactory):
+            return factory._instructions
+        owner = getattr(factory, "__self__", None)
+        if isinstance(owner, Program):
+            return owner.expanded()
+        return None
+
     # ------------------------------------------------------------------ #
     @classmethod
     def from_program(cls, program: Program) -> "Job":

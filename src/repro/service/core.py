@@ -1,10 +1,12 @@
 """The asynchronous simulation job service.
 
 :class:`SimulationService` accepts :class:`~repro.api.batch.SimulationRequest`
-submissions and executes them on a **persistent** process worker pool (the
-pickled-payload shipping of :mod:`repro.api.batch`, but the pool outlives
-individual submissions instead of being respawned per batch).  Three layers
-keep redundant work off the engine:
+submissions and executes them on the **process-wide shared**
+:class:`~repro.api.pool.WorkerPool` (the pickled-payload shipping of
+:mod:`repro.api.batch`; the pool outlives individual submissions *and*
+individual services, and is shared with ``run_batch``/``execute_sweep``, so
+its warm workers are reused across every consumer).  Three layers keep
+redundant work off the engine:
 
 1. the durable :class:`~repro.service.store.ResultStore` answers submissions
    whose content hash was simulated before — in this process or any earlier
@@ -43,7 +45,7 @@ import threading
 import time
 import uuid
 from collections import OrderedDict
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.api.batch import (
@@ -52,6 +54,7 @@ from repro.api.batch import (
     _execute_request_to_bytes,
     _ship_payload,
 )
+from repro.api.pool import WorkerPool, get_shared_pool
 from repro.errors import (
     ConfigurationError,
     ServiceOverloadedError,
@@ -154,8 +157,13 @@ class SimulationService:
         self._shutdown = False
         self._inflight = 0
         self._queued_bytes = 0
+        # The shared worker pool may hold more processes than this service's
+        # ``workers`` bound (it is grown by whichever consumer wants the
+        # most); these slots keep *this* service's concurrent executions at
+        # its own bound, so e.g. ``workers=1`` still serializes dispatches.
+        self._slots = threading.Semaphore(workers)
 
-        self._pool: ProcessPoolExecutor | None = None
+        self._pool: WorkerPool | None = None  # the shared pool, bound lazily
         self._local_pool: ThreadPoolExecutor | None = None
         self._counters = {
             "submitted": 0,
@@ -314,6 +322,11 @@ class SimulationService:
                 if self._shutdown:
                     return
                 continue
+            # wait for an execution slot; completions (which release slots)
+            # keep firing from pool callbacks even during shutdown, so this
+            # always makes progress
+            while not self._slots.acquire(timeout=0.1):
+                pass
             with self._lock:
                 self._inflight += 1
                 for job_id in entry.job_ids:
@@ -352,10 +365,13 @@ class SimulationService:
                 )
             return self._local_pool.submit(_execute_request_to_bytes, entry.request)
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            # bind (and grow, if needed) the process-wide shared pool: its
+            # warm workers are reused across services and run_batch calls
+            self._pool = get_shared_pool(self.workers)
         return self._pool.submit(_execute_pickled_to_bytes, entry.payload)
 
     def _complete(self, entry: QueueEntry, payload: bytes | None, error: BaseException | None) -> None:
+        self._slots.release()  # the execution is over, requeued or not
         if error is not None and self._recover(entry, error):
             return  # the entry went back in line; completion comes later
         if error is None:
@@ -394,8 +410,8 @@ class SimulationService:
         """Re-dispatch an entry whose worker process died; ``True`` if requeued.
 
         A ``BrokenProcessPool`` means the worker crashed *under* the job, not
-        that the job itself failed: the dead pool is dropped (rebuilt lazily
-        on the next dispatch) and the entry goes back in line with its retry
+        that the job itself failed: the shared pool's broken executor is
+        respawned in place and the entry goes back in line with its retry
         budget decremented.  Past ``max_retries`` pool attempts the entry is
         pinned to the in-process thread path — one bounded failover instead
         of a crash loop.  Returns ``False`` (→ ordinary failure handling)
@@ -406,7 +422,11 @@ class SimulationService:
             return False
         with self._lock:
             self._counters["worker_crashes"] += 1
-            self._pool = None  # the pool died with the worker; respawn lazily
+            if self._pool is not None:
+                # the executor died with the worker; swap in a fresh one (a
+                # no-op when another consumer of the shared pool got there
+                # first)
+                self._pool.respawn_broken()
             if self._shutdown:
                 return False
             live = any(
@@ -608,9 +628,9 @@ class SimulationService:
         if wait:
             self._dispatcher.join(timeout=5.0)
             self._reaper.join(timeout=5.0)
-        if self._pool is not None:
-            self._pool.shutdown(wait=wait)
-            self._pool = None
+        # the worker pool is the process-wide shared one: drop our reference
+        # but leave it warm for other consumers (atexit tears it down)
+        self._pool = None
         if self._local_pool is not None:
             self._local_pool.shutdown(wait=wait)
             self._local_pool = None

@@ -3,8 +3,9 @@
 Two fan-out paths, one result shape:
 
 * **local** — points run through the :mod:`repro.api.batch` machinery (the
-  same pickled-payload worker shipping ``run_batch`` uses), over an optional
-  process pool (``jobs=N``) and an optional cache/store;
+  same pickled-payload worker shipping ``run_batch`` uses), over the
+  process-wide shared :class:`~repro.api.pool.WorkerPool` (``jobs=N``,
+  capped by the host's usable CPUs) and an optional cache/store;
 * **service** — points are submitted to a running :mod:`repro.service`
   endpoint via :class:`~repro.service.client.ServiceClient`, which brings the
   durable store, request coalescing and the persistent worker pool along for
@@ -22,7 +23,8 @@ from __future__ import annotations
 import pickle
 import time
 from collections.abc import Callable
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.api.batch import (
@@ -30,6 +32,7 @@ from repro.api.batch import (
     _execute_request_to_bytes,
     _ship_payload,
 )
+from repro.api.pool import get_shared_pool, usable_cpus
 from repro.core.results import SimulationResult
 from repro.errors import SweepError
 from repro.sweep.compile import CompiledSweep, SweepPoint
@@ -202,31 +205,48 @@ def _execute_local(
         )
 
     local: list[SweepPoint] = []
-    if jobs > 1 and len(pending) > 1:
+    workers = min(jobs, usable_cpus())
+    if workers > 1 and len(pending) > 1:
         payloads = {point.point_id: _ship_payload(point.request) for point in pending}
         shippable = [point for point in pending if payloads[point.point_id] is not None]
         local = [point for point in pending if payloads[point.point_id] is None]
         if len(shippable) > 1:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(shippable))) as pool:
-                started = time.perf_counter()
-                # workers return the result pre-pickled: payload bytes stay
-                # canonical (identical to a serial in-process run), so ledger
-                # hashes do not depend on the --jobs setting
-                futures = {
-                    pool.submit(_execute_pickled_to_bytes, payloads[point.point_id]): point
-                    for point in shippable
-                }
-                remaining = set(futures)
-                while remaining:
-                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        point = futures[future]
-                        elapsed = time.perf_counter() - started
-                        error = future.exception()
-                        if error is not None:
-                            settle(point, _outcome_from_error(point, error, elapsed))
+            pool = get_shared_pool(workers)
+            started = time.perf_counter()
+            # workers return the result pre-pickled: payload bytes stay
+            # canonical (identical to a serial in-process run), so ledger
+            # hashes do not depend on the --jobs setting
+            futures = {
+                pool.submit(_execute_pickled_to_bytes, payloads[point.point_id]): point
+                for point in shippable
+            }
+            retried: set[str] = set()
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    point = futures[future]
+                    elapsed = time.perf_counter() - started
+                    error = future.exception()
+                    if isinstance(error, BrokenProcessPool):
+                        # a worker died under the point: respawn the pool and
+                        # retry once, then finish in-process (the crash fault
+                        # only hooks the pool entry point, so the local pass
+                        # completes even under a crash-looping plan)
+                        if point.point_id not in retried:
+                            retried.add(point.point_id)
+                            pool.respawn_broken()
+                            retry = pool.submit(
+                                _execute_pickled_to_bytes, payloads[point.point_id]
+                            )
+                            futures[retry] = point
+                            remaining = set(remaining) | {retry}
                         else:
-                            record(point, future.result(), elapsed)
+                            local.append(point)
+                    elif error is not None:
+                        settle(point, _outcome_from_error(point, error, elapsed))
+                    else:
+                        record(point, future.result(), elapsed)
         else:
             local = pending
     else:
@@ -334,7 +354,9 @@ def execute_sweep(
     Parameters
     ----------
     jobs:
-        Local worker processes (ignored when ``client`` is given).
+        Upper bound on local worker processes; the effective bound is
+        ``min(jobs, usable_cpus())``, served by the process-wide shared
+        worker pool (ignored when ``client`` is given).
     cache:
         A :class:`~repro.api.cache.RunCache` or
         :class:`~repro.service.store.ResultStore` consulted/filled per point

@@ -585,14 +585,15 @@ class Program:
                 pc += 1
         return tuple(expanded)
 
-    def instructions(self) -> Iterator[Instruction]:
-        """Expand the dynamic instruction stream of the whole program.
+    def expanded(self) -> tuple[Instruction, ...]:
+        """The full dynamic instruction stream as one flat (interned) tuple.
 
         The expansion is materialized once and memoized per program;
         structurally identical programs additionally share one *interned*
         tuple (see the module's interning section), so rebuilding the same
         benchmark — or restoring one from a pickle in a worker process —
-        costs a key computation instead of a full re-emission.
+        costs a key computation instead of a full re-emission.  Contexts walk
+        this tuple with an index cursor instead of driving a generator.
         """
         if self._expanded is None:
             # schedule first: an intern hit must still assign block ids (and
@@ -607,7 +608,11 @@ class Program:
                     expansion = self._expand()
                     _intern_store(key, expansion)
                 self._expanded = expansion
-        return iter(self._expanded)
+        return self._expanded
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterator over :meth:`expanded` (the job stream-factory protocol)."""
+        return iter(self.expanded())
 
     def __getstate__(self) -> dict:
         # The memoized expansion can be large and is cheap to rebuild; drop

@@ -26,25 +26,36 @@ WORKLOADS = {
 }
 
 
+@pytest.fixture(scope="module")
+def worker_pool():
+    from repro.api import WorkerPool
+
+    pool = WorkerPool(2)
+    yield pool
+    pool.shutdown()
+
+
 def _request(machine: str, workload_name: str, latency: int, mode: str) -> SimulationRequest:
     workload = WORKLOADS[workload_name]
+    # the analytic IDEAL bound has no memory system, hence no latency knob
+    options = {} if machine == "ideal" else {"memory_latency": latency}
     if mode == "single":
         return SimulationRequest.single(
-            machine, workload, memory_latency=latency, tag=f"{workload_name}@{latency}"
+            machine, workload, tag=f"{workload_name}@{latency}", **options
         )
     if mode == "group":
         contexts = 2 if machine != "reference" else 1
         return SimulationRequest.group(
             machine,
             [workload] * contexts,
-            memory_latency=latency,
             tag=f"{workload_name}@{latency}",
+            **options,
         )
     return SimulationRequest.queue(
         machine,
         [workload, WORKLOADS["scalar"]],
-        memory_latency=latency,
         tag=f"{workload_name}@{latency}",
+        **options,
     )
 
 
@@ -115,8 +126,11 @@ class TestRunBatch:
         serial = run_batch(requests, jobs=1)
         assert [r.cycles for r in parallel] == [r.cycles for r in serial]
 
-    # The core parallelism property: a worker-pool batch is result-for-result
-    # identical to serial execution, for any mix of machines/modes/latencies.
+    # The core parallelism property: a worker-pool batch — chunked, deduped,
+    # results shipped out of band — is result-for-result identical to serial
+    # execution, for any mix of machines/modes/latencies.  An explicit pool
+    # forces the pooled path even on single-CPU hosts (where the `jobs` bound
+    # correctly degrades to serial and would leave it untested).
     @settings(
         max_examples=6,
         deadline=None,
@@ -125,7 +139,7 @@ class TestRunBatch:
     @given(
         specs=st.lists(
             st.tuples(
-                st.sampled_from(["reference", "multithreaded-2", "dual-scalar"]),
+                st.sampled_from(["reference", "multithreaded-2", "dual-scalar", "ideal"]),
                 st.sampled_from(sorted(WORKLOADS)),
                 st.sampled_from([1, 50]),
                 st.sampled_from(["single", "group", "queue"]),
@@ -134,10 +148,10 @@ class TestRunBatch:
             max_size=4,
         )
     )
-    def test_parallel_equals_serial(self, specs):
+    def test_parallel_equals_serial(self, specs, worker_pool):
         requests = [_request(*spec) for spec in specs]
         serial = run_batch(requests, jobs=1)
-        parallel = run_batch(requests, jobs=2)
+        parallel = run_batch(requests, pool=worker_pool)
         assert len(serial) == len(parallel) == len(requests)
         for left, right in zip(serial, parallel):
             assert left.cycles == right.cycles
