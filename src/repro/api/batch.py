@@ -196,15 +196,26 @@ class SimulationRequest:
         return Machine.named(self.machine, cache=cache, **dict(self.options))
 
     def cache_key(self) -> tuple:
-        """The content-hash key identifying this request's simulation."""
-        config = self.build_machine().config
-        return request_key(
-            config,
-            self.mode,
-            self.workloads,
-            instruction_limit=self.instruction_limit,
-            restart_companions=self.restart_companions if self.mode == "group" else True,
-        )
+        """The content-hash key identifying this request's simulation.
+
+        Memoized per instance: the key costs a machine construction plus a
+        content hash of every workload, and the always-on dedupe of
+        :func:`run_batch` asks for it on every execution of the request.
+        """
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            config = self.build_machine().config
+            key = request_key(
+                config,
+                self.mode,
+                self.workloads,
+                instruction_limit=self.instruction_limit,
+                restart_companions=(
+                    self.restart_companions if self.mode == "group" else True
+                ),
+            )
+            object.__setattr__(self, "_cache_key", key)
+        return key
 
 
 def _execute_request(request: SimulationRequest) -> SimulationResult:
@@ -524,7 +535,12 @@ def run_batch(
     get_bytes = getattr(cache, "get_bytes", None) if want_bytes else None
 
     # Resolve cache hits and within-batch duplicates first: every request is
-    # content-keyed, and only one representative per key executes.
+    # content-keyed, and only one representative per key executes.  A lone
+    # cacheless request has nothing to deduplicate against, so it skips the
+    # (machine construction + workload hash) key entirely.
+    if cache is None and len(requests) == 1:
+        results[0] = _execute_request(requests[0])
+        return results  # type: ignore[return-value]
     pending: list[int] = []
     keys: list[tuple] = []
     primary_for_key: dict[tuple, int] = {}
