@@ -1,0 +1,164 @@
+"""CI smoke check for consistent-hash sharding of the simulation service.
+
+Boots **three** real shard services on ephemeral ports, drives them from
+**two** independent multi-URL :class:`~repro.service.client.ServiceClient`
+instances submitting overlapping duplicate work, and asserts the cluster
+keeps every single-process guarantee:
+
+* every payload is byte-identical to executing the same request in-process
+  (:func:`repro.api.batch._execute_request_to_bytes`);
+* duplicate submissions coalesce **cluster-wide**: the summed ``executed``
+  across shards equals the number of unique content keys — consistent
+  hashing sends identical requests to the same shard, so no coordination
+  protocol is needed;
+* a router front-end (:class:`~repro.service.shard.ShardRouterServer`)
+  aggregates ``/stats`` to the same cluster totals;
+* killing one shard mid-run degrades gracefully — the client fails over
+  along the ring, marks the handle ``degraded``, and still returns the
+  correct payload.
+
+The shards start *paused* so all duplicates are guaranteed to be in flight
+together (no timing luck).  Run it the way CI does::
+
+    PYTHONPATH=src python benchmarks/shard_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api.batch import SimulationRequest, _execute_request_to_bytes
+from repro.service import (
+    ResultStore,
+    ServiceClient,
+    ServiceServer,
+    ShardRouter,
+    ShardRouterServer,
+    SimulationService,
+)
+from repro.workloads import build_benchmark
+
+SCALE = 0.05
+SHARDS = 3
+BENCHMARKS = ("tomcatv", "swm256", "dyfesm", "bdna")
+
+
+def _request_owned_by(router: ShardRouter, owner: str) -> SimulationRequest:
+    """A probe request whose ring owner is ``owner`` (varies an option)."""
+    program = build_benchmark("tomcatv", scale=SCALE)
+    for latency in range(40, 400):
+        request = SimulationRequest.single("reference", program, memory_latency=latency)
+        if router.shard_for(request.cache_key()) == owner:
+            return request
+    raise AssertionError(f"no probe request hashed onto {owner}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        servers: list[ServiceServer] = []
+        for index in range(SHARDS):
+            store = ResultStore(Path(tmp) / f"shard{index}")
+            service = SimulationService(
+                store=store, workers=1, paused=True, name=f"shard{index}"
+            )
+            servers.append(ServiceServer(service, port=0).start())
+        urls = [server.url for server in servers]
+        print(f"{SHARDS} shards booted: {', '.join(urls)}")
+        router = ShardRouter(urls)
+
+        try:
+            # -- duplicate submissions from two independent clients -------- #
+            clients = (ServiceClient(urls), ServiceClient(list(reversed(urls))))
+            requests = [
+                SimulationRequest.single("reference", build_benchmark(name, scale=SCALE))
+                for name in BENCHMARKS
+            ]
+            handles = [
+                (request, client.submit_request(request))
+                for client in clients
+                for request in requests
+            ]
+            for request, handle in handles:
+                owner = router.shard_for(request.cache_key())
+                assert handle.shard == owner, (handle.shard, owner)
+                assert handle.degraded is False
+            for server in servers:
+                server.service.resume()
+
+            # -- byte-identical payloads vs in-process execution ----------- #
+            expected = {
+                request.cache_key(): _execute_request_to_bytes(request)
+                for request in requests
+            }
+            for request, handle in handles:
+                payload = handle.result_bytes(timeout=120.0)
+                assert payload == expected[request.cache_key()], (
+                    f"payload for {request.workloads[0].name} differs from "
+                    "in-process execution"
+                )
+            print(f"{len(handles)} payloads byte-identical to in-process execution")
+
+            # -- cluster-wide coalescing ----------------------------------- #
+            per_shard = [server.service.stats() for server in servers]
+            submitted = sum(stats["submitted"] for stats in per_shard)
+            executed = sum(stats["executed"] for stats in per_shard)
+            coalesced = sum(stats["coalesced"] for stats in per_shard)
+            print(
+                f"cluster stats: submitted={submitted} executed={executed} "
+                f"coalesced={coalesced}"
+            )
+            assert submitted == len(handles), per_shard
+            assert executed == len(BENCHMARKS), (
+                f"cluster-wide executed={executed}, want one per unique key "
+                f"({len(BENCHMARKS)})"
+            )
+            assert coalesced == len(handles) - len(BENCHMARKS), per_shard
+
+            # -- router front-end aggregates to the same totals ------------ #
+            with ShardRouterServer(urls) as front:
+                aggregated = ServiceClient(front.url).stats()
+                assert aggregated["submitted"] == submitted, aggregated
+                assert aggregated["executed"] == executed, aggregated
+                assert aggregated["shard_count"] == SHARDS
+                routed = ServiceClient(front.url).submit(
+                    "reference", {"benchmark": BENCHMARKS[0], "scale": SCALE}
+                )
+                routed.wait(timeout=120.0)
+            print("router front-end aggregation matches per-shard totals")
+
+            # -- kill one shard mid-run: client fails over, degraded ------- #
+            victim = servers[0]
+            victim_url = victim.url
+            victim.stop()
+            print(f"killed shard {victim_url}")
+            survivor_client = ServiceClient(urls, timeout=5.0, retries=0)
+            probe = _request_owned_by(router, victim_url)
+            handle = survivor_client.submit_request(probe)
+            assert handle.degraded is True, "failover must be marked degraded"
+            assert handle.shard in urls[1:], handle.shard
+            payload = handle.result_bytes(timeout=120.0)
+            assert payload == _execute_request_to_bytes(probe), (
+                "failover payload differs from in-process execution"
+            )
+            health = survivor_client.healthz()
+            assert health["status"] == "degraded", health
+            print("client failed over to a live shard with a correct payload")
+
+            # -- no torn or leaked store artifacts -------------------------- #
+            leftovers = [
+                str(path)
+                for path in Path(tmp).rglob("*")
+                if path.suffix in (".tmp", ".corrupt")
+            ]
+            assert not leftovers, f"stray store artifacts: {leftovers}"
+        finally:
+            for server in servers[1:]:
+                server.stop()
+    print("shard smoke check passed; clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

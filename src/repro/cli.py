@@ -24,6 +24,13 @@ Run the simulation job service and submit work to it::
     python -m repro.cli serve --port 8321 --store-dir ./repro-store --workers 4
     python -m repro.cli submit --url http://127.0.0.1:8321 \
         --machine multithreaded-2 --benchmark tomcatv --scale 0.3
+
+Shard the service horizontally (router in front of N backend processes)::
+
+    python -m repro.cli serve --port 8322 &   # shard 0
+    python -m repro.cli serve --port 8323 &   # shard 1
+    python -m repro.cli serve --port 8321 \
+        --shard-of http://127.0.0.1:8322,http://127.0.0.1:8323
 """
 
 from __future__ import annotations
@@ -178,7 +185,46 @@ def serve_main(argv: Sequence[str]) -> int:
         "--default-timeout", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget applied to jobs without their own (default: none)",
     )
+    parser.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="free-form service name surfaced in /stats (useful per shard)",
+    )
+    parser.add_argument(
+        "--shard-of", default=None, metavar="URL,URL,...",
+        help=(
+            "run as a shard ROUTER in front of the given backend service URLs "
+            "instead of running a service: jobs are forwarded to the shard "
+            "owning each request's content key, /stats and /metrics are "
+            "aggregated cluster-wide (--workers/--store-dir are ignored)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.shard_of is not None:
+        from repro.errors import ConfigurationError
+        from repro.service import ShardRouterServer
+
+        try:
+            server = ShardRouterServer(args.shard_of, host=args.host, port=args.port)
+        except ConfigurationError as error:
+            print(f"bad --shard-of value: {error}", file=sys.stderr)
+            return 2
+        with server:
+            print(
+                f"routing on {server.url} across {len(server.router.shards)} shard(s): "
+                + ", ".join(server.router.shards),
+                flush=True,
+            )
+            try:
+                if args.duration is not None:
+                    time.sleep(args.duration)
+                else:  # pragma: no cover - interactive foreground mode
+                    while True:
+                        time.sleep(3600)
+            except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+                pass
+        print("router stopped")
+        return 0
 
     from repro.service import ResultStore, ServiceServer, SimulationService
     from repro.service.core import DEFAULT_MAX_PENDING
@@ -189,6 +235,7 @@ def serve_main(argv: Sequence[str]) -> int:
         workers=args.workers,
         max_pending=args.max_pending if args.max_pending is not None else DEFAULT_MAX_PENDING,
         default_timeout=args.default_timeout,
+        name=args.name,
     )
     with ServiceServer(service, host=args.host, port=args.port) as server:
         print(
@@ -214,7 +261,13 @@ def submit_main(argv: Sequence[str]) -> int:
         prog="repro-mtv submit",
         description="Submit a simulation job to a running repro-mtv service.",
     )
-    parser.add_argument("--url", default="http://127.0.0.1:8321", help="service base URL")
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help=(
+            "service base URL; pass several comma-separated URLs to route "
+            "across a sharded cluster client-side"
+        ),
+    )
     parser.add_argument("--machine", default="reference", help="registered machine model name")
     parser.add_argument(
         "--benchmark", action="append", required=True, metavar="NAME",
@@ -294,8 +347,12 @@ def sweep_main(argv: Sequence[str]) -> int:
     )
     parser.add_argument("spec", help="path to the sweep spec (.toml or .json)")
     parser.add_argument(
-        "--via-service", default=None, metavar="URL",
-        help="fan points out through a running repro-mtv service at URL",
+        "--via-service", default=None, metavar="URL[,URL...]",
+        help=(
+            "fan points out through a running repro-mtv service at URL; "
+            "several comma-separated URLs shard the sweep across a cluster "
+            "by content key"
+        ),
     )
     parser.add_argument(
         "--out", default=None, metavar="DIR",

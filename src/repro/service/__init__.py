@@ -13,7 +13,14 @@ The scale layer on top of the :class:`~repro.api.machine.Machine` facade:
   (``POST /jobs``, ``GET /jobs/<id>`` with ``?follow=1`` long-polling,
   ``DELETE /jobs/<id>``, ``GET /stats``, ``GET /metrics``, ``GET /healthz``);
 * :class:`ServiceClient` — Python client mirroring the ``Machine`` facade,
-  with capped-exponential-backoff retries that honour ``Retry-After``.
+  with capped-exponential-backoff retries that honour ``Retry-After``;
+  accepts several base URLs and routes by content key across a sharded
+  cluster (failing over, marking handles ``degraded``);
+* :class:`ShardRouter` / :class:`ShardRouterServer` — horizontal scale-out:
+  consistent hashing of content-key digests onto N independent service
+  processes, either client-side or through a thin router front-end
+  (``repro-mtv serve --shard-of URL,URL,...``) that forwards jobs and
+  aggregates ``/stats``/``/metrics`` cluster-wide.
 
 The stack carries a resilience layer throughout: admission control sheds
 submissions past the queue-depth/queued-bytes bounds (HTTP ``429``), worker
@@ -41,6 +48,12 @@ from repro.service.core import SimulationService
 from repro.service.http import ServiceServer, render_metrics
 from repro.service.jobs import TERMINAL_STATES, JobRecord, JobState
 from repro.service.queue import CoalescingPriorityQueue
+from repro.service.shard import (
+    ShardRouter,
+    ShardRouterServer,
+    aggregate_stats,
+    parse_shard_urls,
+)
 from repro.service.specs import parse_job_document, workload_from_spec
 from repro.service.store import ResultStore, code_fingerprint, key_digest
 
@@ -53,11 +66,15 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "ShardRouter",
+    "ShardRouterServer",
     "SimulationService",
     "TERMINAL_STATES",
+    "aggregate_stats",
     "code_fingerprint",
     "key_digest",
     "parse_job_document",
+    "parse_shard_urls",
     "render_metrics",
     "workload_from_spec",
 ]

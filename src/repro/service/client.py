@@ -13,6 +13,12 @@ real :class:`~repro.workloads.program.Program` / :class:`~repro.core.suppliers.J
 / :class:`~repro.trace.records.TraceSet` objects (shipped as a pickled
 :class:`~repro.api.batch.SimulationRequest`, like the batch worker pool
 does).  Only stdlib :mod:`urllib` is used — no new runtime dependencies.
+
+Pass several base URLs (``"http://a:1,http://b:2"`` or a list) to talk to a
+sharded cluster: the client consistently hashes each request's content key
+onto the shard set, fails over along the ring when a shard is down (marking
+the handle ``degraded``), and aggregates ``stats()``/``metrics()`` across
+shards.  See :mod:`repro.service.shard`.
 """
 
 from __future__ import annotations
@@ -30,8 +36,15 @@ from repro.api.batch import SimulationRequest
 from repro.core.results import SimulationResult
 from repro.errors import JobCancelled, JobTimeout, ReproError, SimulationError
 from repro.faults import inject_conn_reset
+from repro.service.shard import ShardRouter, aggregate_stats, parse_shard_urls
 
 __all__ = ["JobHandle", "ServiceClient", "ServiceError"]
+
+#: How many job-id → owning-shard mappings a multi-URL client remembers, so
+#: status/result/cancel calls for a routed job go straight to its shard.
+#: Oldest mappings are dropped first; a dropped job falls back to the first
+#: shard (which answers 404, surfaced as a normal :class:`ServiceError`).
+MAX_TRACKED_JOB_SHARDS = 4096
 
 #: HTTP statuses that mean "try again shortly", not "the request is wrong":
 #: 429 is admission-control load shedding, 503 a restarting server.
@@ -56,11 +69,20 @@ class ServiceError(ReproError):
 
 @dataclass(frozen=True)
 class JobHandle:
-    """One submitted job: its id plus how the service is serving it."""
+    """One submitted job: its id plus how the service is serving it.
+
+    ``shard`` is the base URL of the shard serving the job (``None`` for a
+    single-URL client); ``degraded`` is ``True`` when the job's ring owner
+    was down and the submission failed over to a substitute shard — correct
+    results, but cluster-wide coalescing with the owner's store is lost
+    until the owner returns.
+    """
 
     client: "ServiceClient"
     job_id: str
     served_from: str
+    shard: str | None = None
+    degraded: bool = False
 
     def info(self) -> dict:
         """The job's current status document."""
@@ -107,7 +129,17 @@ FOLLOW_CHUNK = 10.0
 
 
 class ServiceClient:
-    """HTTP client for one running simulation service.
+    """HTTP client for one simulation service — or a sharded cluster of them.
+
+    ``base_url`` accepts one base URL, a comma-separated string of several,
+    or a sequence of them.  With more than one URL the client routes each
+    submission itself: the request's content key is consistently hashed
+    onto the shard set (the same :class:`~repro.service.shard.ShardRouter`
+    ring a router front-end uses), so identical requests from every client
+    land on the same shard and keep coalescing cluster-wide.  When a shard
+    is down at submission time the client fails over along the ring and
+    marks the returned handle ``degraded``; follow-up status/result/cancel
+    calls are routed to the shard that owns each job.
 
     Every HTTP round trip runs under a per-call socket ``timeout`` and a
     bounded retry budget: up to ``retries`` extra attempts on *transient*
@@ -124,14 +156,17 @@ class ServiceClient:
 
     def __init__(
         self,
-        base_url: str,
+        base_url,
         *,
         timeout: float = 30.0,
         retries: int = 2,
         retry_interval: float = 0.2,
         backoff_cap: float = 5.0,
     ) -> None:
-        self.base_url = base_url.rstrip("/")
+        self.base_urls = parse_shard_urls(base_url)
+        self.base_url = self.base_urls[0]
+        self._router = ShardRouter(self.base_urls) if len(self.base_urls) > 1 else None
+        self._job_shards: dict[str, str] = {}
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.retry_interval = max(0.0, retry_interval)
@@ -157,9 +192,11 @@ class ServiceClient:
         body: dict | None = None,
         timeout: float | None = None,
         method: str | None = None,
+        base_url: str | None = None,
     ) -> bytes:
+        base_url = self.base_url if base_url is None else base_url
         request = urllib.request.Request(
-            self.base_url + path,
+            base_url + path,
             data=None if body is None else json.dumps(body).encode(),
             headers={"Content-Type": "application/json"},
             method=method or ("GET" if body is None else "POST"),
@@ -200,11 +237,21 @@ class ServiceClient:
                 status=last_status,
             ) from None
         raise ServiceError(
-            f"cannot reach {self.base_url} after {self.retries + 1} attempt(s): {last_error}"
+            f"cannot reach {base_url} after {self.retries + 1} attempt(s): {last_error}"
         ) from None
 
-    def _call(self, path: str, body: dict | None = None, timeout: float | None = None) -> dict:
-        return json.loads(self._fetch(path, body, timeout))
+    def _call(
+        self,
+        path: str,
+        body: dict | None = None,
+        timeout: float | None = None,
+        base_url: str | None = None,
+    ) -> dict:
+        return json.loads(self._fetch(path, body, timeout, base_url=base_url))
+
+    def _shard_for_job(self, job_id: str) -> str:
+        """The base URL serving ``job_id`` (the first shard when untracked)."""
+        return self._job_shards.get(job_id, self.base_url)
 
     # -- submission ------------------------------------------------------ #
     def submit(
@@ -229,7 +276,8 @@ class ServiceClient:
         """
         if isinstance(workloads, (str, dict)) or not isinstance(workloads, (list, tuple)):
             workloads = [workloads]
-        if all(isinstance(workload, (str, dict)) for workload in workloads):
+        declarative = all(isinstance(workload, (str, dict)) for workload in workloads)
+        if declarative and self._router is None:
             document = {
                 "machine": machine,
                 "workloads": list(workloads),
@@ -248,7 +296,8 @@ class ServiceClient:
                 document["timeout"] = job_timeout
             return self._submitted(self._call("/jobs", document))
         # mixed lists (names/specs next to in-memory objects) take the pickled
-        # path too: materialize the declarative entries locally first
+        # path too, as do declarative submissions through a sharded client —
+        # the ring routes by content key, which needs the materialized request
         from repro.service.specs import workload_from_spec
 
         request = SimulationRequest(
@@ -287,17 +336,40 @@ class ServiceClient:
         }
         if job_timeout is not None:
             document["timeout"] = job_timeout
-        return self._submitted(self._call("/jobs", document))
+        if self._router is None:
+            return self._submitted(self._call("/jobs", document))
+        # client-side sharding: the ring owner first, then its successors.
+        # Only connection-level failures (status None) fail over — an HTTP
+        # error is the owning shard's answer and is raised as-is.
+        failures: list[str] = []
+        for rank, shard in enumerate(self._router.preference(request.cache_key())):
+            try:
+                answer = self._call("/jobs", document, base_url=shard)
+            except ServiceError as error:
+                if error.status is not None:
+                    raise
+                failures.append(str(error))
+                continue
+            return self._submitted(answer, shard=shard, degraded=rank > 0)
+        raise ServiceError("no live shard: " + "; ".join(failures))
 
-    def _submitted(self, answer: dict) -> JobHandle:
+    def _submitted(self, answer: dict, *, shard: str | None = None, degraded: bool = False) -> JobHandle:
+        if shard is not None:
+            self._job_shards[answer["job_id"]] = shard
+            while len(self._job_shards) > MAX_TRACKED_JOB_SHARDS:
+                self._job_shards.pop(next(iter(self._job_shards)))
         return JobHandle(
-            client=self, job_id=answer["job_id"], served_from=answer["served_from"]
+            client=self,
+            job_id=answer["job_id"],
+            served_from=answer["served_from"],
+            shard=shard,
+            degraded=degraded,
         )
 
     # -- retrieval ------------------------------------------------------- #
     def job(self, job_id: str) -> dict:
         """Status document of one job (404 raises :class:`ServiceError`)."""
-        return self._call(f"/jobs/{job_id}")
+        return self._call(f"/jobs/{job_id}", base_url=self._shard_for_job(job_id))
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a still-queued job (``DELETE /jobs/<id>``).
@@ -307,7 +379,9 @@ class ServiceClient:
         raise :class:`ServiceError`.
         """
         try:
-            self._fetch(f"/jobs/{job_id}", method="DELETE")
+            self._fetch(
+                f"/jobs/{job_id}", method="DELETE", base_url=self._shard_for_job(job_id)
+            )
         except ServiceError as error:
             if error.status == 409:
                 return False
@@ -332,6 +406,7 @@ class ServiceClient:
             info = self._call(
                 f"/jobs/{job_id}?follow=1&wait={wait:g}",
                 timeout=self.timeout + wait,
+                base_url=self._shard_for_job(job_id),
             )
             if info["state"] in TERMINAL_JOB_STATES:
                 return info
@@ -370,13 +445,51 @@ class ServiceClient:
 
     # -- introspection --------------------------------------------------- #
     def stats(self) -> dict:
-        """The service's live counters (``GET /stats``)."""
-        return self._call("/stats")
+        """The service's live counters (``GET /stats``).
+
+        A sharded client probes every shard and returns the cluster-wide
+        aggregate (counters summed, stores merged), with per-shard detail
+        under ``"shards"``.  Dead shards are reported, not raised.
+        """
+        if self._router is None:
+            return self._call("/stats")
+        per_shard: list[dict] = []
+        detail: list[dict] = []
+        for shard in self.base_urls:
+            try:
+                stats = self._call("/stats", base_url=shard)
+            except ServiceError:
+                stats = None
+            if stats is not None:
+                per_shard.append(stats)
+            detail.append({"url": shard, "ok": stats is not None, "stats": stats})
+        aggregate = aggregate_stats(per_shard)
+        aggregate["shards"] = detail
+        aggregate["shard_count"] = len(self.base_urls)
+        return aggregate
 
     def metrics(self) -> str:
-        """The scrape-friendly plaintext counter export (``GET /metrics``)."""
-        return self._fetch("/metrics").decode()
+        """The scrape-friendly plaintext counter export (``GET /metrics``).
+
+        A sharded client renders the aggregated :meth:`stats` document, so
+        the export stays one flat set of ``repro_*`` lines cluster-wide.
+        """
+        if self._router is None:
+            return self._fetch("/metrics").decode()
+        from repro.service.http import render_metrics
+
+        return render_metrics(self.stats())
 
     def healthz(self) -> dict:
-        """Liveness probe (``GET /healthz``)."""
-        return self._call("/healthz")
+        """Liveness probe (``GET /healthz``) — per shard when sharded."""
+        if self._router is None:
+            return self._call("/healthz")
+        alive: dict[str, bool] = {}
+        for shard in self.base_urls:
+            try:
+                alive[shard] = self._call("/healthz", base_url=shard).get("status") == "ok"
+            except ServiceError:
+                alive[shard] = False
+        live = sum(1 for ok in alive.values() if ok)
+        status = "ok" if live == len(alive) else ("degraded" if live else "down")
+        return {"status": status, "shards": alive}

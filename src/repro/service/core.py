@@ -125,6 +125,7 @@ class SimulationService:
         max_queued_bytes: int | None = DEFAULT_MAX_QUEUED_BYTES,
         default_timeout: float | None = None,
         max_retries: int = DEFAULT_MAX_RETRIES,
+        name: str | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("the service needs at least one worker")
@@ -145,6 +146,9 @@ class SimulationService:
         self.max_queued_bytes = max_queued_bytes
         self.default_timeout = default_timeout
         self.max_retries = max_retries
+        # free-form identity surfaced in stats(); lets cluster-wide
+        # aggregations (repro.service.shard) attribute per-shard detail
+        self.name = name
         self.started_at = time.time()
 
         self._queue = CoalescingPriorityQueue()
@@ -602,6 +606,8 @@ class SimulationService:
                 "max_retries": self.max_retries,
                 "uptime_seconds": round(time.time() - self.started_at, 3),
             }
+            if self.name is not None:
+                stats["name"] = self.name
             if self.store is not None:
                 stats["store"] = self.store.stats()
             return stats

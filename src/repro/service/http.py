@@ -94,14 +94,17 @@ def render_metrics(stats: dict) -> str:
             f"repro_store_max_bytes {store.get('max_bytes', 0)}",
             f"repro_store_evictions_total {store.get('evictions', 0)}",
             f"repro_store_quarantined_total {store.get('quarantined', 0)}",
+            f"repro_store_quarantine_bytes {store.get('quarantine_bytes', 0)}",
         ]
     return "\n".join(lines) + "\n"
 
 
-class _Handler(BaseHTTPRequestHandler):
-    server: "ServiceServer"
+class _JSONHandler(BaseHTTPRequestHandler):
+    """Shared JSON-over-HTTP plumbing for the service and shard-router handlers.
 
-    # -- plumbing -------------------------------------------------------- #
+    The owning server must expose a ``verbose`` attribute.
+    """
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:  # pragma: no cover - log formatting only
             super().log_message(format, *args)
@@ -126,6 +129,22 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
+
+    def _read_body(self) -> bytes | None:
+        """The request body, bounded by ``MAX_BODY_BYTES`` (``None`` = refused)."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length header")
+            return None
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, f"request body must be 1..{MAX_BODY_BYTES} bytes")
+            return None
+        return self.rfile.read(length)
+
+
+class _Handler(_JSONHandler):
+    server: "ServiceServer"
 
     # -- routes ---------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -184,16 +203,11 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path.split("?", 1)[0].rstrip("/") != "/jobs":
             self._error(404, f"unknown path {self.path!r}")
             return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            self._error(400, "bad Content-Length header")
-            return
-        if length <= 0 or length > MAX_BODY_BYTES:
-            self._error(400, f"request body must be 1..{MAX_BODY_BYTES} bytes")
+        raw = self._read_body()
+        if raw is None:
             return
         try:
-            document = json.loads(self.rfile.read(length))
+            document = json.loads(raw)
         except (ValueError, UnicodeDecodeError) as error:
             self._error(400, f"bad JSON body: {error}")
             return

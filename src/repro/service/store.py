@@ -24,11 +24,17 @@ Durability and safety properties:
   is *quarantined* on first detection (renamed aside with a ``.corrupt``
   suffix, preserving the bytes for diagnosis) and reported as a miss, never
   raised and never re-parsed on later lookups; wrong-version and wrong-key
-  entries are deleted outright (they are stale, not evidence);
-* **multi-process sharing** — LRU eviction runs under an advisory file lock
-  (``.store.lock`` in the directory), so several service processes can share
-  one store directory without racing each other's evictions; a missing
-  victim file (already evicted by a sibling) is tolerated everywhere.
+  entries are deleted outright (they are stale, not evidence); quarantine
+  retention is capped at the newest :data:`MAX_QUARANTINE_FILES` files, so a
+  flaky disk cannot grow the directory without bound;
+* **multi-process sharing** — every write lands under a tmp name unique to
+  the writing process (two processes writing the same key can never clobber
+  each other's half-written envelope), stale tmp files stranded by a crashed
+  writer are swept at startup, and the size bound is enforced against the
+  *directory* contents (not just this process's index) under an advisory
+  file lock (``.store.lock``), so N sharing processes collectively respect
+  ``max_bytes`` instead of overshooting it N×; a missing victim file
+  (already evicted by a sibling) is tolerated everywhere.
 
 The store exposes the same ``get(key)``/``put(key, result)`` surface as
 :class:`~repro.api.cache.RunCache`, so it is a drop-in ``cache=`` argument for
@@ -40,9 +46,11 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import itertools
 import os
 import pickle
 import threading
+import time
 from pathlib import Path
 
 try:
@@ -65,8 +73,25 @@ ENTRY_SUFFIX = ".res"
 #: Suffix appended to a quarantined (corrupt) entry file.
 QUARANTINE_SUFFIX = ".corrupt"
 
+#: Suffix of in-flight write files (replaced into place atomically).
+TMP_SUFFIX = ".tmp"
+
+#: Quarantined files kept for diagnosis; older ones are deleted so a flaky
+#: disk or fault-plan run cannot leak disk without bound.
+MAX_QUARANTINE_FILES = 8
+
+#: Age (seconds) past which a ``*.tmp`` file is considered stranded by a
+#: crashed writer and swept.  A healthy writer holds its tmp file for the
+#: milliseconds between ``write_bytes`` and ``os.replace``, so anything this
+#: old is garbage — but the margin keeps a live sibling's in-flight write safe.
+STALE_TMP_SECONDS = 300.0
+
 #: Advisory lock file guarding cross-process eviction in a shared directory.
 LOCK_FILENAME = ".store.lock"
+
+#: Process-wide counter making concurrent tmp names unique within one process
+#: (the pid in the name makes them unique across processes).
+_tmp_seq = itertools.count()
 
 
 def code_fingerprint() -> str:
@@ -124,31 +149,64 @@ class ResultStore:
         self.evictions = 0
         self.quarantined = 0
         self._lock = threading.RLock()
-        #: digest -> (size_bytes, recency); recency is a monotonically
-        #: increasing use counter seeded from file mtimes at startup.
+        #: digest -> (size_bytes, recency); recency is on the file-mtime
+        #: timescale (seconds), strictly increasing for in-process touches, so
+        #: a directory rescan can merge sibling-written entries (known only by
+        #: mtime) with this process's precise use order on one scale.
         self._index: dict[str, tuple[int, float]] = {}
         self._recency = 0.0
         self._scan()
 
     # ------------------------------------------------------------------ #
     def _scan(self) -> None:
-        """Rebuild the eviction index from the directory contents."""
+        """Rebuild the eviction index from the directory contents.
+
+        Also sweeps ``*.tmp`` files old enough to be crash leftovers: a tmp
+        file is normally consumed by ``os.replace`` milliseconds after it is
+        born, so one older than :data:`STALE_TMP_SECONDS` was stranded by a
+        writer that died mid-:meth:`put_bytes` and nothing else will delete.
+        """
         entries = []
+        stale_before = time.time() - STALE_TMP_SECONDS
         for item in os.scandir(self.directory):
-            if item.is_file() and item.name.endswith(ENTRY_SUFFIX):
+            if not item.is_file():
+                continue
+            if item.name.endswith(ENTRY_SUFFIX):
                 stat = item.stat()
                 entries.append((item.name[: -len(ENTRY_SUFFIX)], stat.st_size, stat.st_mtime))
-        entries.sort(key=lambda entry: entry[2])  # oldest first
-        self._index = {}
-        for order, (digest, size, _mtime) in enumerate(entries):
-            self._index[digest] = (size, float(order))
-        self._recency = float(len(entries))
+            elif item.name.endswith(TMP_SUFFIX) and item.stat().st_mtime < stale_before:
+                with contextlib.suppress(OSError):
+                    os.unlink(item.path)
+        rebuilt: dict[str, tuple[int, float]] = {}
+        for digest, size, mtime in entries:
+            previous = self._index.get(digest)
+            # an entry we already track keeps its precise in-process recency
+            # (file mtimes can tie under coarse filesystem granularity);
+            # sibling-written entries are slotted by their mtime
+            recency = mtime if previous is None else max(previous[1], mtime)
+            rebuilt[digest] = (size, recency)
+        self._index = rebuilt
+        self._recency = max(
+            self._recency, max((recency for _size, recency in rebuilt.values()), default=0.0)
+        )
 
     def _path(self, digest: str) -> Path:
         return self.directory / (digest + ENTRY_SUFFIX)
 
+    def _tmp_path(self, digest: str) -> Path:
+        """A write-in-flight path unique to this process *and* this call.
+
+        A shared tmp name would let two processes writing the same key
+        ``os.replace`` each other's half-written envelope (quarantining a
+        good key) or crash on the second replace; pid + sequence makes every
+        concurrent write land in its own file.
+        """
+        return self.directory / f".{digest}.{os.getpid()}-{next(_tmp_seq)}{TMP_SUFFIX}"
+
     def _touch(self, digest: str, size: int) -> None:
-        self._recency += 1.0
+        # strictly increasing, pinned to wall time so it stays comparable
+        # with the mtimes a rescan assigns to sibling-written entries
+        self._recency = max(self._recency + 1e-4, time.time())
         self._index[digest] = (size, self._recency)
         try:
             os.utime(self._path(digest))
@@ -169,7 +227,8 @@ class ResultStore:
 
         The bytes are preserved under ``<entry>.corrupt`` for diagnosis
         (``_scan`` and lookups only ever consider ``.res`` files), and the
-        original path is free for a clean rewrite of the same key.
+        original path is free for a clean rewrite of the same key.  Only the
+        newest :data:`MAX_QUARANTINE_FILES` quarantined files are retained.
         """
         self._index.pop(digest, None)
         path = self._path(digest)
@@ -179,6 +238,32 @@ class ResultStore:
             with contextlib.suppress(OSError):
                 path.unlink()
         self.quarantined += 1
+        self._prune_quarantine()
+
+    def _quarantine_usage(self) -> tuple[int, int]:
+        """``(files, bytes)`` currently held in quarantine."""
+        files = 0
+        total = 0
+        with contextlib.suppress(OSError):
+            for item in os.scandir(self.directory):
+                if item.is_file() and item.name.endswith(QUARANTINE_SUFFIX):
+                    files += 1
+                    total += item.stat().st_size
+        return files, total
+
+    def _prune_quarantine(self) -> None:
+        """Delete all but the newest :data:`MAX_QUARANTINE_FILES` quarantined files."""
+        stamped = []
+        with contextlib.suppress(OSError):
+            for item in os.scandir(self.directory):
+                if item.is_file() and item.name.endswith(QUARANTINE_SUFFIX):
+                    stamped.append((item.stat().st_mtime, item.path))
+        if len(stamped) <= MAX_QUARANTINE_FILES:
+            return
+        stamped.sort()  # oldest first
+        for _mtime, stale in stamped[: len(stamped) - MAX_QUARANTINE_FILES]:
+            with contextlib.suppress(OSError):
+                os.unlink(stale)
 
     @contextlib.contextmanager
     def _dir_lock(self):
@@ -205,8 +290,16 @@ class ResultStore:
             os.close(handle)
 
     def _evict_to_bound(self, protect: str | None = None) -> None:
+        """Evict LRU entries until the indexed bytes fit ``max_bytes``.
+
+        Callers enforcing the *shared-directory* bound must :meth:`_scan`
+        first (under :meth:`_dir_lock`) so the index covers entries written
+        by sibling processes, not just this one.  Excess quarantine files are
+        pruned here too — they are the other unbounded-disk leak.
+        """
         if self.max_bytes is None:
             return
+        self._prune_quarantine()
         while self.total_bytes() > self.max_bytes and len(self._index) > 1:
             victim = min(
                 (digest for digest in self._index if digest != protect),
@@ -216,6 +309,22 @@ class ResultStore:
             if victim is None:
                 break
             self._discard(victim, evicted=True)
+
+    def _dir_bytes(self) -> int:
+        """Entry bytes actually on disk — the *collective* occupancy.
+
+        ``total_bytes()`` only covers entries this process has written or
+        read; in a shared directory the size bound must hold against what
+        every sibling wrote, so the over-bound trigger reads the directory.
+        """
+        total = 0
+        try:
+            for item in os.scandir(self.directory):
+                if item.is_file() and item.name.endswith(ENTRY_SUFFIX):
+                    total += item.stat().st_size
+        except OSError:  # pragma: no cover - unreadable directory
+            return self.total_bytes()
+        return total
 
     # ------------------------------------------------------------------ #
     def get_bytes(self, key: tuple) -> bytes | None:
@@ -276,13 +385,22 @@ class ResultStore:
         )
         with self._lock:
             path = self._path(digest)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_bytes(envelope)
-            os.replace(tmp, path)
+            tmp = self._tmp_path(digest)
+            try:
+                tmp.write_bytes(envelope)
+                os.replace(tmp, path)
+            finally:
+                # replace consumed the tmp file on success; anything left
+                # behind by a failed write must not strand on disk
+                with contextlib.suppress(OSError):
+                    tmp.unlink()
             self._touch(digest, len(envelope))
-            if self.max_bytes is not None and self.total_bytes() > self.max_bytes:
-                # only the over-bound path pays for the cross-process lock
+            if self.max_bytes is not None and self._dir_bytes() > self.max_bytes:
+                # only the over-bound path pays for the cross-process lock;
+                # rescanning under it makes eviction see sibling processes'
+                # entries, so the *collective* bound holds (not N× of it)
                 with self._dir_lock():
+                    self._scan()
                     self._evict_to_bound(protect=digest)
 
     def put(self, key: tuple, result: SimulationResult) -> None:
@@ -308,6 +426,7 @@ class ResultStore:
     def stats(self) -> dict:
         """Counters and occupancy, as reported by the service ``/stats``."""
         with self._lock:
+            quarantine_files, quarantine_bytes = self._quarantine_usage()
             return {
                 "entries": len(self._index),
                 "bytes": self.total_bytes(),
@@ -316,6 +435,8 @@ class ResultStore:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "quarantined": self.quarantined,
+                "quarantine_files": quarantine_files,
+                "quarantine_bytes": quarantine_bytes,
                 "fingerprint": self.fingerprint,
                 "directory": str(self.directory),
             }

@@ -9,7 +9,9 @@ Two fan-out paths, one result shape:
 * **service** — points are submitted to a running :mod:`repro.service`
   endpoint via :class:`~repro.service.client.ServiceClient`, which brings the
   durable store, request coalescing and the persistent worker pool along for
-  free.
+  free.  A client built with several base URLs shards the sweep across a
+  cluster by content key (see :mod:`repro.service.shard`) with no executor
+  changes — submission, waiting and failover are all client-side.
 
 Either way the executor streams completions through a progress callback and
 isolates failures per point: a point whose machine cannot be resolved or
@@ -395,7 +397,10 @@ def execute_sweep(
             retries=service_retries,
             emit=emit,
         )
-        via = getattr(client, "base_url", "service")
+        # a sharded client reports every base URL, so the manifest records
+        # the cluster the sweep actually ran against
+        urls = getattr(client, "base_urls", None)
+        via = ",".join(urls) if urls else getattr(client, "base_url", "service")
     else:
         _execute_local(compiled, jobs=jobs, cache=cache, emit=emit)
         via = "local"

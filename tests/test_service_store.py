@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import os
 import pickle
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -13,7 +15,13 @@ import pytest
 from repro.api import Machine, request_key
 from repro.errors import ConfigurationError
 from repro.service import ResultStore, code_fingerprint, key_digest
-from repro.service.store import ENTRY_SUFFIX
+from repro.service.store import (
+    ENTRY_SUFFIX,
+    MAX_QUARANTINE_FILES,
+    QUARANTINE_SUFFIX,
+    STALE_TMP_SECONDS,
+    TMP_SUFFIX,
+)
 
 
 @pytest.fixture(scope="module")
@@ -294,3 +302,156 @@ class TestHousekeeping:
         for thread in threads:
             thread.join()
         assert not errors
+
+
+def _tmp_files(directory) -> list[str]:
+    # pathlib.glob("*") skips dotfiles, and the unique tmp names are dotted
+    return [name for name in os.listdir(directory) if name.endswith(TMP_SUFFIX)]
+
+
+def _corrupt_files(directory) -> list[str]:
+    return [name for name in os.listdir(directory) if name.endswith(QUARANTINE_SUFFIX)]
+
+
+def _entry_bytes(directory) -> int:
+    return sum(
+        (Path(directory) / name).stat().st_size
+        for name in os.listdir(directory)
+        if name.endswith(ENTRY_SUFFIX)
+    )
+
+
+class TestSharedDirectoryBugfixes:
+    """Regression tests for the three multi-process store bugs.
+
+    Each fails on the pre-fix code: a shared tmp name could tear same-key
+    writes and strand ``*.tmp`` files forever, quarantined ``.corrupt`` files
+    leaked disk without bound, and eviction only saw this process's own
+    index, so sibling processes collectively overshot ``max_bytes``.
+    """
+
+    def test_stranded_tmp_files_are_swept_on_scan(self, tmp_path):
+        # a writer that crashed between write_bytes and os.replace leaves its
+        # tmp file behind; _scan must sweep it once stale (old shared-name
+        # form and new unique-name form alike) while keeping a fresh tmp that
+        # may belong to a live sibling's in-flight write
+        digest = key_digest(_fake_key("crashed"))
+        ancient = time.time() - 2 * STALE_TMP_SECONDS
+        for strand in (f"{digest}.tmp", f".{digest}.99999-0.tmp"):
+            path = tmp_path / strand
+            path.write_bytes(b"half-written envelope")
+            os.utime(path, (ancient, ancient))
+        fresh = tmp_path / f".{digest}.12345-1.tmp"
+        fresh.write_bytes(b"in-flight sibling write")
+        ResultStore(tmp_path)
+        assert _tmp_files(tmp_path) == [fresh.name]
+
+    def test_concurrent_writers_never_share_a_tmp_path(self, tmp_path):
+        # two store instances (standing in for two processes) writing the
+        # same key must write through distinct tmp files, and repeated writes
+        # from one instance must too (the pre-fix code used one shared name,
+        # so a pair of writers could os.replace each other's half-written
+        # envelope or crash on the second replace)
+        a = ResultStore(tmp_path)
+        b = ResultStore(tmp_path)
+        digest = key_digest(_fake_key("hot"))
+        names = {a._tmp_path(digest).name, b._tmp_path(digest).name, a._tmp_path(digest).name}
+        assert len(names) == 3
+        a.put_bytes(_fake_key("hot"), b"payload")
+        assert _tmp_files(tmp_path) == []  # consumed by the atomic replace
+
+    def test_quarantine_retention_is_capped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        garbage = b"\x80garbage"
+        extra = 5
+        for index in range(MAX_QUARANTINE_FILES + extra):
+            key = _fake_key(f"q{index}")
+            store.put_bytes(key, b"payload")
+            (tmp_path / (key_digest(key) + ENTRY_SUFFIX)).write_bytes(garbage)
+            assert store.get_bytes(key) is None  # quarantines the garbage
+        assert store.quarantined == MAX_QUARANTINE_FILES + extra
+        assert len(_corrupt_files(tmp_path)) == MAX_QUARANTINE_FILES
+        stats = store.stats()
+        assert stats["quarantine_files"] == MAX_QUARANTINE_FILES
+        assert stats["quarantine_bytes"] == MAX_QUARANTINE_FILES * len(garbage)
+
+    def test_quarantine_pruned_during_eviction(self, tmp_path):
+        payload = b"x" * 4_000
+        store = ResultStore(tmp_path, max_bytes=20_000)
+        for index in range(MAX_QUARANTINE_FILES + 3):
+            (tmp_path / f"stale{index}{ENTRY_SUFFIX}{QUARANTINE_SUFFIX}").write_bytes(b"junk")
+        for index in range(8):  # push past the bound so eviction runs
+            store.put_bytes(_fake_key(f"e{index}"), payload)
+        assert len(_corrupt_files(tmp_path)) <= MAX_QUARANTINE_FILES
+
+    def test_eviction_respects_collective_bound_across_siblings(self, tmp_path):
+        # two sibling processes (instances) alternate writes; neither one's
+        # own index ever reaches the bound, so only directory-aware eviction
+        # can keep the *collective* occupancy inside max_bytes
+        payload = b"x" * 10_000
+        bound = 62_000
+        a = ResultStore(tmp_path, max_bytes=bound)
+        b = ResultStore(tmp_path, max_bytes=bound)
+        for turn in range(8):
+            (a if turn % 2 == 0 else b).put_bytes(_fake_key(f"s{turn}"), payload)
+        assert _entry_bytes(tmp_path) <= bound
+        assert a.total_bytes() <= bound and b.total_bytes() <= bound
+
+
+#: One writer process sharing a store directory with a sibling: writes the
+#: shared keys (same deterministic payload per key in both processes) plus a
+#: few of its own, read-verifying as it goes.  Any torn or foreign payload
+#: asserts; the quarantine counter is printed for the parent to check.
+_WRITER_SCRIPT = """
+import sys
+from repro.service import ResultStore
+
+directory, max_bytes, who = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+store = ResultStore(directory, max_bytes=max_bytes)
+
+def fake_key(tag):
+    return ("config-" + tag, "single", ("workload-" + tag,), None, True)
+
+def payload_for(key):
+    return (key[0].encode() + b".") * 4096
+
+shared = [fake_key("shared%d" % index) for index in range(4)]
+own = [fake_key("%s-%d" % (who, index)) for index in range(3)]
+for _round in range(25):
+    for key in shared + own:
+        store.put_bytes(key, payload_for(key))
+    for key in shared:
+        blob = store.get_bytes(key)
+        assert blob is None or blob == payload_for(key), "torn or foreign payload"
+print(store.stats()["quarantined"])
+"""
+
+
+class TestTrueMultiProcessSharing:
+    def test_two_processes_share_one_directory(self, tmp_path):
+        # two *real* processes hammer one directory with concurrent
+        # put_bytes of the same and different keys, under an eviction bound
+        # tight enough that both evict constantly.  After both settle: no
+        # valid write was quarantined, no tmp file was stranded, and the
+        # directory respects the collective size bound.
+        max_bytes = 200_000
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_SCRIPT, str(tmp_path), str(max_bytes), who],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env={**os.environ, "PYTHONPATH": "src"},
+                cwd=Path(__file__).resolve().parent.parent,
+            )
+            for who in ("alpha", "beta")
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert out.strip() == "0", f"valid writes were quarantined: {out!r}"
+        assert _tmp_files(tmp_path) == []
+        assert _corrupt_files(tmp_path) == []
+        # collective bound: at most one entry of slack past max_bytes
+        one_entry = len((b"config-shared0" + b".") * 4096) + 1024
+        assert _entry_bytes(tmp_path) <= max_bytes + one_entry
