@@ -494,6 +494,80 @@ def measure_service_overload(repeats: int) -> list[dict]:
     ]
 
 
+#: Telemetry transactions per repeat of the obs-overhead microbenchmark.
+OBS_OVERHEAD_OPS = 50_000
+#: Workload scale of the profiled-run overhead row.
+OBS_PROFILE_SCALE = 0.3
+
+
+def measure_obs_overhead(repeats: int) -> list[dict]:
+    """Throughput of the telemetry layer itself, in two rows.
+
+    * ``hot_path`` — ops/sec of one *telemetry transaction*: an unlabelled
+      counter increment, a labelled counter increment, a histogram
+      observation and a span append.  This is the per-job bookkeeping the
+      service pays on every submission, so a slowdown here taxes every row
+      of ``service_roundtrip``;
+    * ``profiled_run`` — instrs/sec of a reference simulation with engine
+      phase profiling forced on.  Profiling is opt-in and its off-path is
+      byte-identical, but the *on*-path must stay usable — this row keeps
+      the wrapper overhead bounded.
+    """
+    from repro.obs import MetricsRegistry, TraceLog
+    from repro.obs.profiling import force_profiling
+
+    registry = MetricsRegistry()
+    plain = registry.counter("repro_bench_total", "bench")
+    labelled = registry.counter(
+        "repro_bench_kind_total", "bench", labelnames=("kind",)
+    )
+    histogram = registry.histogram("repro_bench_seconds", "bench")
+    trace = TraceLog(max_jobs=64)
+    labels = ({"kind": "a"}, {"kind": "b"})
+
+    def spin() -> None:
+        for index in range(OBS_OVERHEAD_OPS):
+            plain.inc()
+            labelled.inc(labels=labels[index & 1])
+            histogram.observe(0.0001 * (1 + (index & 63)))
+            trace.add_span(
+                f"job{index & 31}", "execute", trace_id="bench",
+                start=float(index), duration=0.001,
+            )
+
+    seconds = _time_run(spin, repeats)
+    entries = [
+        {
+            "benchmark": "obs_overhead",
+            "model": "hot_path",
+            "workload": f"ops@{OBS_OVERHEAD_OPS}",
+            "instructions": OBS_OVERHEAD_OPS,
+            "seconds": round(seconds, 6),
+            "instrs_per_sec": round(OBS_OVERHEAD_OPS / seconds, 1),
+        }
+    ]
+
+    program = build_benchmark("tomcatv", scale=OBS_PROFILE_SCALE)
+    instructions = program.dynamic_instruction_count
+
+    def run_profiled() -> None:
+        with force_profiling(True):
+            ReferenceSimulator(MachineConfig.reference(50)).run(program)
+
+    profiled_seconds = _time_run(run_profiled, repeats)
+    entries.append(
+        {
+            "benchmark": "obs_overhead",
+            "model": "profiled_run",
+            "workload": "tomcatv",
+            "instructions": instructions,
+            "seconds": round(profiled_seconds, 6),
+            "instrs_per_sec": round(instructions / profiled_seconds, 1),
+        }
+    )
+    return entries
+
+
 def batch_scaling_requests() -> list[SimulationRequest]:
     """The fixed request list the batch-scaling rows execute."""
     suite = build_suite(scale=BATCH_SCALE)
@@ -617,6 +691,7 @@ def collect(repeats: int, *, dirty: bool = False) -> dict:
         + measure_scoreboard_hazard(repeats)
         + measure_service_roundtrip(repeats)
         + measure_service_overload(repeats)
+        + measure_obs_overhead(repeats)
         + measure_batch_scaling(repeats)
     )
     # every entry records which scoreboard path produced it, so a baseline
@@ -650,6 +725,7 @@ GATED_BENCHMARKS = (
     "scoreboard_hazard",
     "service_roundtrip",
     "service_overload",
+    "obs_overhead",
 )
 
 

@@ -92,7 +92,7 @@ from repro.sweep import (
 )
 from repro.workloads import build_benchmark, build_suite, build_workload
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AssemblyError",

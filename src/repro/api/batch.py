@@ -264,6 +264,28 @@ def _execute_pickled_to_bytes(payload: bytes) -> bytes:
     return _execute_request_to_bytes(pickle.loads(payload))
 
 
+def _execute_pickled_traced(
+    payload: bytes, trace_id: str | None
+) -> tuple[bytes, dict]:
+    """Pool entry point that echoes the trace id back with the payload.
+
+    The echo (plus the worker's pid) is the ``execute`` span's proof that
+    the trace id crossed the process boundary.  The canonical execution
+    path — fault hooks included — is :func:`_execute_pickled_to_bytes`,
+    wrapped unchanged.
+    """
+    data = _execute_pickled_to_bytes(payload)
+    return data, {"trace_id": trace_id, "worker_pid": os.getpid()}
+
+
+def _execute_request_traced(
+    request: SimulationRequest, trace_id: str | None
+) -> tuple[bytes, dict]:
+    """Thread-path twin of :func:`_execute_pickled_traced` (same contract)."""
+    data = _execute_request_to_bytes(request)
+    return data, {"trace_id": trace_id, "worker_pid": os.getpid()}
+
+
 def _ship_payload(request: SimulationRequest) -> bytes | None:
     """The request pickled for a worker, or ``None`` if it must run in-process.
 

@@ -332,9 +332,25 @@ class Machine:
         return result
 
     def run(
-        self, workload: Workload, *, instruction_limit: int | None = None
+        self,
+        workload: Workload,
+        *,
+        instruction_limit: int | None = None,
+        profile: bool = False,
     ) -> SimulationResult:
-        """Run one workload alone on this machine."""
+        """Run one workload alone on this machine.
+
+        ``profile=True`` forces engine phase profiling for this call (see
+        :mod:`repro.obs.profiling`): the result carries ``phase_profile``
+        and the run bypasses the cache both ways — cached results have no
+        profile, and a profiled result must not poison the cache for
+        unprofiled callers.
+        """
+        if profile:
+            from repro.obs.profiling import force_profiling
+
+            with force_profiling(True):
+                return self._backend.run(workload, instruction_limit=instruction_limit)
         if self.cache is None:
             return self._backend.run(workload, instruction_limit=instruction_limit)
         key = request_key(

@@ -36,6 +36,8 @@ import os
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 
+from repro.obs.metrics import Counter
+
 __all__ = ["WorkerPool", "get_shared_pool", "shutdown_shared_pool", "usable_cpus"]
 
 #: Environment variables workers must agree with the parent about.  A change
@@ -48,6 +50,7 @@ ENV_FINGERPRINT_VARS = (
     "REPRO_OBJECT_SCOREBOARD",
     "REPRO_PICKLE_RESULTS",
     "REPRO_SHM_MIN_BYTES",
+    "REPRO_PROFILE",
 )
 
 
@@ -100,9 +103,22 @@ class WorkerPool:
         self._executor_workers = 0
         self._fingerprint: tuple | None = None
         #: How many executors this pool has created (tests assert warm reuse
-        #: by watching this stay flat across batches).
-        self.spawned = 0
+        #: by watching this stay flat across batches).  Backed by an obs
+        #: counter so /metrics can export it per service.
+        self._spawned = Counter(
+            "repro_pool_executors_spawned_total",
+            "Process-pool executors created (respawns included)",
+        )
         self._closed = False
+
+    @property
+    def spawned(self) -> int:
+        """How many executors this pool has created so far."""
+        return int(self._spawned.value())
+
+    def metrics_snapshot(self) -> dict:
+        """Obs-metrics snapshot for this pool (merged into service metrics)."""
+        return {self._spawned.name: self._spawned.snapshot()}
 
     # ------------------------------------------------------------------ #
     def _spawn_locked(self) -> ProcessPoolExecutor:
@@ -112,7 +128,7 @@ class WorkerPool:
         )
         self._executor_workers = self.workers
         self._fingerprint = _env_fingerprint()
-        self.spawned += 1
+        self._spawned.inc()
         return self._executor
 
     @staticmethod

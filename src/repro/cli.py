@@ -44,10 +44,18 @@ from repro.experiments.figures import ALL_EXPERIMENTS, run_experiment
 from repro.experiments.report import render_report, render_timeline
 from repro.experiments.runner import ExperimentContext, ExperimentSettings
 
-__all__ = ["build_parser", "list_experiments", "main", "serve_main", "submit_main", "sweep_main"]
+__all__ = [
+    "build_parser",
+    "list_experiments",
+    "main",
+    "serve_main",
+    "submit_main",
+    "sweep_main",
+    "trace_main",
+]
 
 #: Service subcommands routed away from the experiment-regeneration parser.
-SERVICE_COMMANDS = ("serve", "submit", "sweep")
+SERVICE_COMMANDS = ("serve", "submit", "sweep", "trace")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -198,7 +206,17 @@ def serve_main(argv: Sequence[str]) -> int:
             "aggregated cluster-wide (--workers/--store-dir are ignored)"
         ),
     )
+    parser.add_argument(
+        "--log-level", default="info", metavar="LEVEL",
+        choices=["debug", "info", "warning", "error"],
+        help="logging verbosity of the repro.* hierarchy (default: info)",
+    )
     args = parser.parse_args(argv)
+
+    from repro.obs.logs import configure_logging, get_logger
+
+    configure_logging(args.log_level)
+    logger = get_logger("repro.cli")
 
     if args.shard_of is not None:
         from repro.errors import ConfigurationError
@@ -207,13 +225,14 @@ def serve_main(argv: Sequence[str]) -> int:
         try:
             server = ShardRouterServer(args.shard_of, host=args.host, port=args.port)
         except ConfigurationError as error:
-            print(f"bad --shard-of value: {error}", file=sys.stderr)
+            logger.error("bad --shard-of value: %s", error)
             return 2
         with server:
-            print(
-                f"routing on {server.url} across {len(server.router.shards)} shard(s): "
-                + ", ".join(server.router.shards),
-                flush=True,
+            logger.info(
+                "routing on %s across %d shard(s): %s",
+                server.url,
+                len(server.router.shards),
+                ", ".join(server.router.shards),
             )
             try:
                 if args.duration is not None:
@@ -223,7 +242,7 @@ def serve_main(argv: Sequence[str]) -> int:
                         time.sleep(3600)
             except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
                 pass
-        print("router stopped")
+        logger.info("router stopped")
         return 0
 
     from repro.service import ResultStore, ServiceServer, SimulationService
@@ -238,10 +257,11 @@ def serve_main(argv: Sequence[str]) -> int:
         name=args.name,
     )
     with ServiceServer(service, host=args.host, port=args.port) as server:
-        print(
-            f"serving on {server.url} "
-            f"(store: {store.directory}, workers: {args.workers})",
-            flush=True,
+        logger.info(
+            "serving on %s (store: %s, workers: %d)",
+            server.url,
+            store.directory,
+            args.workers,
         )
         try:
             if args.duration is not None:
@@ -251,7 +271,7 @@ def serve_main(argv: Sequence[str]) -> int:
                     time.sleep(3600)
         except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
             pass
-    print("service stopped")
+    logger.info("service stopped")
     return 0
 
 
@@ -317,6 +337,8 @@ def submit_main(argv: Sequence[str]) -> int:
             **options,
         )
         print(f"job {handle.job_id} submitted (served_from: {handle.served_from})")
+        if handle.trace_id:
+            print(f"trace: {handle.trace_id} (repro-mtv trace {handle.job_id})")
         if args.no_wait:
             return 0
         result = handle.wait(timeout=args.timeout)
@@ -332,6 +354,56 @@ def submit_main(argv: Sequence[str]) -> int:
         f"{args.machine}: {result.instructions} instructions in {result.cycles} cycles "
         f"({result.stop_reason})"
     )
+    return 0
+
+
+def trace_main(argv: Sequence[str]) -> int:
+    """``repro-mtv trace``: pretty-print one job's span timeline."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mtv trace",
+        description=(
+            "Fetch GET /jobs/<id>/trace from a running repro-mtv service and "
+            "pretty-print the job's span timeline (submit, queue-wait, "
+            "execute, result-ship, ...)."
+        ),
+    )
+    parser.add_argument("job_id", help="job id returned by submit")
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (or comma-separated shard URLs)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        timeline = client.trace(args.job_id)
+    except ServiceError as error:
+        print(f"service error: {error}", file=sys.stderr)
+        return 2
+    spans = timeline.get("spans") or []
+    print(
+        f"job {timeline.get('job_id', args.job_id)} "
+        f"trace {timeline.get('trace_id')} "
+        f"(state: {timeline.get('state')}, {len(spans)} span(s))"
+    )
+    if not spans:
+        print("  (no spans recorded)")
+        return 0
+    origin = min(span.get("start", 0.0) for span in spans)
+    for span in spans:
+        offset_ms = (span.get("start", origin) - origin) * 1000.0
+        detail = " ".join(
+            f"{key}={span[key]}"
+            for key in sorted(span)
+            if key not in ("span", "trace_id", "start", "duration_ms")
+        )
+        line = (
+            f"  +{offset_ms:9.3f}ms  {span.get('span', '?'):<12} "
+            f"{span.get('duration_ms', 0.0):9.3f}ms"
+        )
+        print(f"{line}  {detail}" if detail else line)
     return 0
 
 
@@ -459,6 +531,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return serve_main(argv[1:])
         if argv[0] == "sweep":
             return sweep_main(argv[1:])
+        if argv[0] == "trace":
+            return trace_main(argv[1:])
         return submit_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)

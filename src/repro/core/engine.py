@@ -24,6 +24,7 @@ selected through ``MachineConfig.dual_scalar``.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from time import perf_counter
 
 from repro.core.config import MachineConfig
 from repro.core.context import HardwareContext
@@ -37,6 +38,7 @@ from repro.core.suppliers import JobSupplier
 from repro.errors import SimulationError
 from repro.memory.banks import BankConflictModel
 from repro.memory.system import MemorySystem
+from repro.obs.profiling import PhaseProfile, profiling_enabled
 
 __all__ = ["SimulationEngine", "StopCondition"]
 
@@ -109,14 +111,57 @@ class SimulationEngine:
         stop_when: StopCondition | None = None,
         max_cycles: int = DEFAULT_MAX_CYCLES,
     ) -> SimulationResult:
-        """Run the simulation until completion, a stop condition, or ``max_cycles``."""
-        if self.config.dual_scalar:
-            stop_reason = self._run_dual_scalar(stop_when, max_cycles)
-        elif self.config.issue_width > 1:
-            stop_reason = self._run_multi_issue(stop_when, max_cycles)
-        else:
-            stop_reason = self._run_single_decode(stop_when, max_cycles)
-        return self._finalize(stop_reason)
+        """Run the simulation until completion, a stop condition, or ``max_cycles``.
+
+        When profiling is enabled (:func:`repro.obs.profiling.profiling_enabled`)
+        timing wrappers are installed on the phase callables *before* the run
+        loop hoists them into locals — function selection at loop setup time,
+        so the unprofiled path executes the exact same bytecode it always did
+        with zero added per-iteration work.
+        """
+        if not profiling_enabled():
+            if self.config.dual_scalar:
+                stop_reason = self._run_dual_scalar(stop_when, max_cycles)
+            elif self.config.issue_width > 1:
+                stop_reason = self._run_multi_issue(stop_when, max_cycles)
+            else:
+                stop_reason = self._run_single_decode(stop_when, max_cycles)
+            return self._finalize(stop_reason)
+        return self._run_profiled(stop_when, max_cycles)
+
+    def _run_profiled(
+        self, stop_when: StopCondition | None, max_cycles: int
+    ) -> SimulationResult:
+        profile = PhaseProfile()
+        dispatch_model = self.dispatch_model
+        memory = self.memory
+        # Instance-attribute wrappers shadow the class methods; every run
+        # loop (and helper) resolves them through the instance, so all phase
+        # calls are timed.  They are removed again before returning so the
+        # engine object stays reusable and picklable.
+        dispatch_model.earliest_issue = profile.wrap(
+            "hazard_check", dispatch_model.earliest_issue
+        )
+        dispatch_model.execute = profile.wrap("dispatch", dispatch_model.execute)
+        memory.schedule_columnar = profile.wrap("memory", memory.schedule_columnar)
+        try:
+            loop_started = perf_counter()
+            if self.config.dual_scalar:
+                stop_reason = self._run_dual_scalar(stop_when, max_cycles)
+            elif self.config.issue_width > 1:
+                stop_reason = self._run_multi_issue(stop_when, max_cycles)
+            else:
+                stop_reason = self._run_single_decode(stop_when, max_cycles)
+            profile.loop_seconds = perf_counter() - loop_started
+            finalize_started = perf_counter()
+            result = self._finalize(stop_reason)
+            profile.add("finalize", perf_counter() - finalize_started)
+        finally:
+            dispatch_model.__dict__.pop("earliest_issue", None)
+            dispatch_model.__dict__.pop("execute", None)
+            memory.__dict__.pop("schedule_columnar", None)
+        result.phase_profile = profile.as_dict()
+        return result
 
     # ------------------------------------------------------------------ #
     # single shared decode unit (reference and multithreaded machines)
@@ -389,7 +434,16 @@ class SimulationEngine:
     def _finalize(self, stop_reason: str) -> SimulationResult:
         stats = self.stats
         stats.cycles = self.cycle
-        stats.memory_port_busy_cycles = self.memory.address_port_busy_cycles
+        # the machine is only quiet once the busses drain: a final vector
+        # store keeps streaming addresses/data after the processor retires it
+        memory = self.memory
+        stats.completion_cycles = max(
+            self.cycle,
+            max(bus.free_at for bus in memory.address_buses),
+            memory.load_data_bus.free_at,
+            memory.store_data_bus.free_at,
+        )
+        stats.memory_port_busy_cycles = memory.address_port_busy_cycles
         stats.memory_ports = self.memory.num_ports
         units = self.vector_units
         stats.fu1_intervals = units.fu1.intervals

@@ -54,12 +54,27 @@ class SimulationResult:
     stats: SimulationStats
     stop_reason: str = "completed"
     workload_description: str = ""
+    #: Per-phase wall-clock accounting of the engine hot loop, present only
+    #: when the run was profiled (``REPRO_PROFILE=1`` /
+    #: ``Machine.run(profile=True)``); see :mod:`repro.obs.profiling`.
+    phase_profile: dict | None = None
 
     # ------------------------------------------------------------------ #
     @property
     def cycles(self) -> int:
         """Total execution time of the run, in cycles."""
         return self.stats.cycles
+
+    @property
+    def completion_cycles(self) -> int:
+        """Cycle at which the machine goes fully quiet, bus drain included.
+
+        ``cycles`` stops when the decode unit retires the last instruction;
+        a trailing vector store still streams its elements on the address and
+        store-data busses afterwards.  This is the quantity the IDEAL model's
+        resource bounds apply to.
+        """
+        return self.stats.completion_cycles
 
     @property
     def instructions(self) -> int:

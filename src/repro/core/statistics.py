@@ -253,6 +253,12 @@ class SimulationStats:
     """Global statistics of one simulation run."""
 
     cycles: int = 0
+    #: Cycle at which the whole machine goes quiet: the decode clock plus the
+    #: drain of any bus traffic still in flight (a final vector store streams
+    #: its elements out after the processor retires it and never waits).
+    #: Always ``>= cycles``; it is the quantity the IDEAL resource bounds of
+    #: :mod:`repro.core.ideal` lower-bound.
+    completion_cycles: int = 0
     instructions: int = 0
     scalar_instructions: int = 0
     vector_instructions: int = 0
@@ -332,6 +338,7 @@ class SimulationStats:
         """
         return {
             "cycles": self.cycles,
+            "completion_cycles": self.completion_cycles,
             "instructions": self.instructions,
             "scalar_instructions": self.scalar_instructions,
             "vector_instructions": self.vector_instructions,

@@ -1,0 +1,60 @@
+"""repro.obs — unified telemetry for the simulation stack.
+
+One subsystem, three concerns:
+
+* :mod:`repro.obs.metrics` — a thread-safe metrics registry
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram` with fixed
+  exponential buckets and optional labels) whose JSON-able snapshots merge
+  across shards by bucket summation, so cluster-wide quantiles are exact.
+* :mod:`repro.obs.exposition` — Prometheus text exposition
+  (``# HELP`` / ``# TYPE``, deterministically sorted families) plus a small
+  pure-python parser used by tests and the CI smoke checks.
+* :mod:`repro.obs.trace` — distributed tracing: trace ids minted
+  client-side, propagated through the ``X-Repro-Trace`` header, recorded as
+  bounded per-job span timelines served at ``GET /jobs/<id>/trace``.
+* :mod:`repro.obs.profiling` — opt-in (``REPRO_PROFILE=1`` /
+  ``Machine.run(profile=True)``) per-phase accounting of the engine hot
+  loop with **zero** off-path per-iteration overhead.
+* :mod:`repro.obs.logs` — the ``repro.service`` stdlib-logging hierarchy
+  used by the serve/router paths.
+"""
+
+from repro.obs.exposition import parse_exposition, render_families
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_metric_snapshots,
+)
+from repro.obs.profiling import (
+    PROFILE_ENV_VAR,
+    PROFILE_PHASES,
+    PhaseProfile,
+    force_profiling,
+    profiling_enabled,
+)
+from repro.obs.trace import TRACE_HEADER, TraceLog, new_trace_id
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PROFILE_ENV_VAR",
+    "PROFILE_PHASES",
+    "PhaseProfile",
+    "TRACE_HEADER",
+    "TraceLog",
+    "configure_logging",
+    "force_profiling",
+    "get_logger",
+    "merge_metric_snapshots",
+    "new_trace_id",
+    "parse_exposition",
+    "profiling_enabled",
+    "render_families",
+]

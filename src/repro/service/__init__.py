@@ -11,7 +11,8 @@ The scale layer on top of the :class:`~repro.api.machine.Machine` facade:
   drop-in ``cache=`` for :class:`~repro.api.machine.Machine`);
 * :class:`ServiceServer` — stdlib JSON-over-HTTP front end
   (``POST /jobs``, ``GET /jobs/<id>`` with ``?follow=1`` long-polling,
-  ``DELETE /jobs/<id>``, ``GET /stats``, ``GET /metrics``, ``GET /healthz``);
+  ``GET /jobs/<id>/trace``, ``DELETE /jobs/<id>``, ``GET /stats``,
+  ``GET /metrics`` in Prometheus exposition format, ``GET /healthz``);
 * :class:`ServiceClient` — Python client mirroring the ``Machine`` facade,
   with capped-exponential-backoff retries that honour ``Retry-After``;
   accepts several base URLs and routes by content key across a sharded

@@ -36,6 +36,7 @@ from repro.api.batch import SimulationRequest
 from repro.core.results import SimulationResult
 from repro.errors import JobCancelled, JobTimeout, ReproError, SimulationError
 from repro.faults import inject_conn_reset
+from repro.obs.trace import TRACE_HEADER, new_trace_id
 from repro.service.shard import ShardRouter, aggregate_stats, parse_shard_urls
 
 __all__ = ["JobHandle", "ServiceClient", "ServiceError"]
@@ -83,10 +84,17 @@ class JobHandle:
     served_from: str
     shard: str | None = None
     degraded: bool = False
+    #: Distributed-tracing id for this submission (client-minted, echoed by
+    #: the server in the 202 answer; ``None`` for servers predating tracing).
+    trace_id: str | None = None
 
     def info(self) -> dict:
         """The job's current status document."""
         return self.client.job(self.job_id)
+
+    def trace(self) -> dict:
+        """The job's span timeline (``GET /jobs/<id>/trace``)."""
+        return self.client.trace(self.job_id)
 
     def wait(self, timeout: float | None = 60.0) -> SimulationResult:
         """Block until the job completes and return its result."""
@@ -193,12 +201,13 @@ class ServiceClient:
         timeout: float | None = None,
         method: str | None = None,
         base_url: str | None = None,
+        headers: dict | None = None,
     ) -> bytes:
         base_url = self.base_url if base_url is None else base_url
         request = urllib.request.Request(
             base_url + path,
             data=None if body is None else json.dumps(body).encode(),
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
             method=method or ("GET" if body is None else "POST"),
         )
         last_error: Exception | None = None
@@ -246,8 +255,11 @@ class ServiceClient:
         body: dict | None = None,
         timeout: float | None = None,
         base_url: str | None = None,
+        headers: dict | None = None,
     ) -> dict:
-        return json.loads(self._fetch(path, body, timeout, base_url=base_url))
+        return json.loads(
+            self._fetch(path, body, timeout, base_url=base_url, headers=headers)
+        )
 
     def _shard_for_job(self, job_id: str) -> str:
         """The base URL serving ``job_id`` (the first shard when untracked)."""
@@ -294,7 +306,10 @@ class ServiceClient:
                 document["tag"] = tag
             if job_timeout is not None:
                 document["timeout"] = job_timeout
-            return self._submitted(self._call("/jobs", document))
+            trace_id = new_trace_id()
+            return self._submitted(
+                self._call("/jobs", document, headers={TRACE_HEADER: trace_id})
+            )
         # mixed lists (names/specs next to in-memory objects) take the pickled
         # path too, as do declarative submissions through a sharded client —
         # the ring routes by content key, which needs the materialized request
@@ -336,15 +351,18 @@ class ServiceClient:
         }
         if job_timeout is not None:
             document["timeout"] = job_timeout
+        trace_headers = {TRACE_HEADER: new_trace_id()}
         if self._router is None:
-            return self._submitted(self._call("/jobs", document))
+            return self._submitted(self._call("/jobs", document, headers=trace_headers))
         # client-side sharding: the ring owner first, then its successors.
         # Only connection-level failures (status None) fail over — an HTTP
         # error is the owning shard's answer and is raised as-is.
         failures: list[str] = []
         for rank, shard in enumerate(self._router.preference(request.cache_key())):
             try:
-                answer = self._call("/jobs", document, base_url=shard)
+                answer = self._call(
+                    "/jobs", document, base_url=shard, headers=trace_headers
+                )
             except ServiceError as error:
                 if error.status is not None:
                     raise
@@ -364,12 +382,24 @@ class ServiceClient:
             served_from=answer["served_from"],
             shard=shard,
             degraded=degraded,
+            trace_id=answer.get("trace_id"),
         )
 
     # -- retrieval ------------------------------------------------------- #
     def job(self, job_id: str) -> dict:
         """Status document of one job (404 raises :class:`ServiceError`)."""
         return self._call(f"/jobs/{job_id}", base_url=self._shard_for_job(job_id))
+
+    def trace(self, job_id: str) -> dict:
+        """Span timeline of one job (``GET /jobs/<id>/trace``).
+
+        The answer carries the job's ``trace_id`` and its recorded spans —
+        submit, store-lookup, coalesce-join, queue-wait, execute, result-ship
+        and fetch — each with a wall-clock ``start`` and ``duration_ms``.
+        """
+        return self._call(
+            f"/jobs/{job_id}/trace", base_url=self._shard_for_job(job_id)
+        )
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a still-queued job (``DELETE /jobs/<id>``).

@@ -50,8 +50,8 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.api.batch import (
     SimulationRequest,
-    _execute_pickled_to_bytes,
-    _execute_request_to_bytes,
+    _execute_pickled_traced,
+    _execute_request_traced,
     _ship_payload,
 )
 from repro.api.pool import WorkerPool, get_shared_pool
@@ -60,11 +60,54 @@ from repro.errors import (
     ServiceOverloadedError,
     SimulationError,
 )
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry, merge_metric_snapshots
+from repro.obs.trace import TraceLog, new_trace_id
 from repro.service.jobs import JobRecord, JobState
 from repro.service.queue import CoalescingPriorityQueue, QueueEntry
 from repro.service.store import ResultStore
 
 __all__ = ["SimulationService"]
+
+logger = get_logger("repro.service.core")
+
+#: stats() key -> (exposition family name, help text) for every service
+#: counter.  The flat integer keys in ``stats()`` are derived from these
+#: counters, so the legacy JSON surface is unchanged.
+_COUNTER_FAMILIES = {
+    "submitted": ("repro_service_submitted_total", "Jobs accepted by submit()"),
+    "executed": ("repro_service_executed_total", "Engine executions completed"),
+    "coalesced": (
+        "repro_service_coalesced_total",
+        "Submissions merged into an in-flight execution",
+    ),
+    "store_hits": (
+        "repro_service_store_hits_total",
+        "Submissions answered from the durable store",
+    ),
+    "failed": ("repro_service_failed_total", "Jobs that ended in failure"),
+    "rejected": (
+        "repro_service_rejected_total",
+        "Submissions shed by admission control",
+    ),
+    "retried": (
+        "repro_service_retried_total",
+        "Pool re-dispatches after a worker crash",
+    ),
+    "worker_crashes": (
+        "repro_service_worker_crashes_total",
+        "Worker-process crashes observed",
+    ),
+    "failover_local": (
+        "repro_service_failover_local_total",
+        "Entries failed over to the in-process thread path",
+    ),
+    "timeouts": (
+        "repro_service_timeouts_total",
+        "Jobs expired past their wall-clock budget",
+    ),
+    "cancelled": ("repro_service_cancelled_total", "Jobs cancelled while queued"),
+}
 
 #: Completed job records kept for ``GET /jobs/<id>`` before being forgotten.
 DEFAULT_KEEP_JOBS = 1024
@@ -169,19 +212,24 @@ class SimulationService:
 
         self._pool: WorkerPool | None = None  # the shared pool, bound lazily
         self._local_pool: ThreadPoolExecutor | None = None
+        #: Per-service obs registry: every counter in ``stats()`` plus the
+        #: queue-wait / execute / HTTP latency histograms.  Per-instance (not
+        #: process-global) so concurrent services never share series.
+        self.metrics = MetricsRegistry()
         self._counters = {
-            "submitted": 0,
-            "executed": 0,
-            "coalesced": 0,
-            "store_hits": 0,
-            "failed": 0,
-            "rejected": 0,
-            "retried": 0,
-            "worker_crashes": 0,
-            "failover_local": 0,
-            "timeouts": 0,
-            "cancelled": 0,
+            key: self.metrics.counter(name, help)
+            for key, (name, help) in _COUNTER_FAMILIES.items()
         }
+        self._queue_wait_seconds = self.metrics.histogram(
+            "repro_queue_wait_seconds",
+            "Time entries spent queued before dispatch (seconds)",
+        )
+        self._execute_seconds = self.metrics.histogram(
+            "repro_execute_seconds",
+            "Wall-clock time of one dispatched execution (seconds)",
+        )
+        #: Bounded per-job span timelines behind ``GET /jobs/<id>/trace``.
+        self.trace = TraceLog()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-service-dispatcher", daemon=True
         )
@@ -202,6 +250,7 @@ class SimulationService:
         priority: int = 0,
         tag: str | None = None,
         timeout: float | None = None,
+        trace_id: str | None = None,
     ) -> JobRecord:
         """Submit one simulation request; returns its job record immediately.
 
@@ -225,6 +274,8 @@ class SimulationService:
         if timeout is None:
             timeout = self.default_timeout
         key = request.cache_key()
+        submit_started = time.perf_counter()
+        submit_wall = time.time()
         job = JobRecord(
             job_id=uuid.uuid4().hex,
             key=key,
@@ -232,13 +283,28 @@ class SimulationService:
             tag=tag if tag is not None else request.tag,
             timeout=timeout,
             deadline=None if timeout is None else time.monotonic() + timeout,
+            # a trace id always exists: client-minted when propagated via
+            # X-Repro-Trace, assigned here otherwise, so every job has a
+            # complete span timeline
+            trace_id=trace_id if trace_id else new_trace_id(),
         )
         # probe the store outside the service lock: it is internally
         # thread-safe, and its disk round-trip must not serialize every
         # concurrent HTTP submission/poll behind one file read.  (The probe
         # racing a completion only costs, at worst, one redundant execution
         # of an already-stored request — never a wrong result.)
-        payload = self.store.get_bytes(key) if self.store is not None else None
+        payload = None
+        if self.store is not None:
+            lookup_started = time.perf_counter()
+            payload = self.store.get_bytes(key)
+            self.trace.add_span(
+                job.job_id,
+                "store-lookup",
+                trace_id=job.trace_id,
+                start=submit_wall,
+                duration=time.perf_counter() - lookup_started,
+                hit=payload is not None,
+            )
         # the request is pickled for the worker pool up front (outside the
         # lock): admission control charges its bytes, and crash-recovery
         # re-dispatches reuse it instead of re-pickling per attempt.  Joins
@@ -250,15 +316,19 @@ class SimulationService:
         with self._lock:
             if self._shutdown:
                 raise SimulationError("the service is shut down")
-            self._counters["submitted"] += 1
+            self._counters["submitted"].inc()
             if payload is not None:
-                self._counters["store_hits"] += 1
+                self._counters["store_hits"].inc()
                 job.served_from = "store"
                 job.payload = payload
                 job.finished_at = time.time()
                 job.state = JobState.DONE
                 self._remember(job)
                 self._finished.notify_all()
+                self._span_submit(job, submit_wall, submit_started)
+                logger.info(
+                    "job %s trace %s served from store", job.job_id, job.trace_id
+                )
                 return job
             # Admission control: joins of an existing entry add no work and
             # are always admitted; a submission needing a *new* entry is shed
@@ -275,8 +345,14 @@ class SimulationService:
                     and self._queued_bytes + len(ship) > self.max_queued_bytes
                 )
                 if over_depth or over_bytes:
-                    self._counters["rejected"] += 1
+                    self._counters["rejected"].inc()
                     reason = "queue depth" if over_depth else "queued bytes"
+                    logger.warning(
+                        "job %s trace %s shed by admission control (%s)",
+                        job.job_id,
+                        job.trace_id,
+                        reason,
+                    )
                     raise ServiceOverloadedError(
                         f"service overloaded ({reason} at bound); retry later",
                         retry_after=self._retry_after_hint(pending),
@@ -288,17 +364,46 @@ class SimulationService:
             except RuntimeError:  # closed by a shutdown() that raced this submit
                 raise SimulationError("the service is shut down") from None
             if coalesced:
-                self._counters["coalesced"] += 1
+                self._counters["coalesced"].inc()
                 job.served_from = "coalesced"
                 if entry.running:
                     job.state = JobState.RUNNING
+                self.trace.add_span(
+                    job.job_id,
+                    "coalesce-join",
+                    trace_id=job.trace_id,
+                    start=submit_wall,
+                    duration=0.0,
+                    joined_trace_id=entry.trace_id,
+                    running=entry.running,
+                )
             else:
                 job.served_from = "executed"
+                entry.trace_id = job.trace_id
+                entry.enqueued_at = time.monotonic()
                 if ship is not None:
                     entry.charged = True
                     self._queued_bytes += len(ship)
             self._remember(job)
+            self._span_submit(job, submit_wall, submit_started)
+            logger.info(
+                "job %s trace %s enqueued (served_from=%s priority=%d)",
+                job.job_id,
+                job.trace_id,
+                job.served_from,
+                priority,
+            )
             return job
+
+    def _span_submit(self, job: JobRecord, wall: float, started: float) -> None:
+        self.trace.add_span(
+            job.job_id,
+            "submit",
+            trace_id=job.trace_id,
+            start=wall,
+            duration=time.perf_counter() - started,
+            served_from=job.served_from,
+        )
 
     def _retry_after_hint(self, pending: int) -> float:
         """Seconds a shed client should wait: the backlog over the workers."""
@@ -331,12 +436,26 @@ class SimulationService:
             # always makes progress
             while not self._slots.acquire(timeout=0.1):
                 pass
+            now_wall = time.time()
+            entry.dispatched_at = time.monotonic()
+            if entry.enqueued_at:
+                queue_wait = max(0.0, entry.dispatched_at - entry.enqueued_at)
+                self._queue_wait_seconds.observe(queue_wait)
+            else:
+                queue_wait = 0.0
             with self._lock:
                 self._inflight += 1
                 for job_id in entry.job_ids:
                     record = self._jobs.get(job_id)
                     if record is not None and not record.finished:
                         record.state = JobState.RUNNING
+                        self.trace.add_span(
+                            job_id,
+                            "queue-wait",
+                            trace_id=record.trace_id,
+                            start=now_wall - queue_wait,
+                            duration=queue_wait,
+                        )
             try:
                 future = self._submit_to_pool(entry)
             except Exception as error:
@@ -367,38 +486,76 @@ class SimulationService:
                 self._local_pool = ThreadPoolExecutor(
                     max_workers=self.workers, thread_name_prefix="repro-service-local"
                 )
-            return self._local_pool.submit(_execute_request_to_bytes, entry.request)
+            return self._local_pool.submit(
+                _execute_request_traced, entry.request, entry.trace_id
+            )
         if self._pool is None:
             # bind (and grow, if needed) the process-wide shared pool: its
             # warm workers are reused across services and run_batch calls
             self._pool = get_shared_pool(self.workers)
-        return self._pool.submit(_execute_pickled_to_bytes, entry.payload)
+        return self._pool.submit(_execute_pickled_traced, entry.payload, entry.trace_id)
 
-    def _complete(self, entry: QueueEntry, payload: bytes | None, error: BaseException | None) -> None:
+    def _complete(self, entry: QueueEntry, outcome, error: BaseException | None) -> None:
         self._slots.release()  # the execution is over, requeued or not
         if error is not None and self._recover(entry, error):
             return  # the entry went back in line; completion comes later
+        payload: bytes | None = None
+        worker_info: dict = {}
+        if outcome is not None:
+            payload, worker_info = outcome
+        completed_wall = time.time()
+        execute_seconds = (
+            max(0.0, time.monotonic() - entry.dispatched_at)
+            if entry.dispatched_at
+            else 0.0
+        )
+        ship_seconds = 0.0
         if error is None:
+            self._execute_seconds.observe(execute_seconds)
             if self.store is not None:
                 # durable write outside the service lock (see submit())
+                ship_started = time.perf_counter()
                 try:
                     self.store.put_bytes(entry.key, payload)
                 except OSError:  # pragma: no cover - store disk failure
                     pass
+                ship_seconds = time.perf_counter() - ship_started
         with self._lock:
             self._queue.finish(entry.key)
             self._inflight -= 1
             self._release_queued_bytes(entry)
             if error is None:
-                self._counters["executed"] += 1
+                self._counters["executed"].inc()
             else:
-                self._counters["failed"] += len(entry.job_ids)
+                self._counters["failed"].inc(len(entry.job_ids))
             now = time.time()
             for job_id in entry.job_ids:
                 record = self._jobs.get(job_id)
                 if record is None or record.finished:
                     continue
                 record.finished_at = now
+                self.trace.add_span(
+                    job_id,
+                    "execute",
+                    trace_id=record.trace_id,
+                    start=completed_wall - execute_seconds,
+                    duration=execute_seconds,
+                    ok=error is None,
+                    # worker echo: proof the trace id crossed the process
+                    # boundary (worker pid differs from the server's on the
+                    # pool path)
+                    worker_pid=worker_info.get("worker_pid"),
+                    worker_trace_id=worker_info.get("trace_id"),
+                )
+                if error is None and self.store is not None:
+                    self.trace.add_span(
+                        job_id,
+                        "result-ship",
+                        trace_id=record.trace_id,
+                        start=completed_wall,
+                        duration=ship_seconds,
+                        payload_bytes=len(payload) if payload is not None else 0,
+                    )
                 if error is None:
                     # payload strictly before state: HTTP threads read records
                     # without this lock, and a "done" job must never be
@@ -408,6 +565,12 @@ class SimulationService:
                 else:
                     record.error = f"{type(error).__name__}: {error}"
                     record.state = JobState.FAILED
+                logger.info(
+                    "job %s trace %s finished state=%s",
+                    job_id,
+                    record.trace_id,
+                    record.state.value,
+                )
             self._finished.notify_all()
 
     def _recover(self, entry: QueueEntry, error: BaseException) -> bool:
@@ -425,7 +588,12 @@ class SimulationService:
         if not isinstance(error, BrokenProcessPool):
             return False
         with self._lock:
-            self._counters["worker_crashes"] += 1
+            self._counters["worker_crashes"].inc()
+            logger.warning(
+                "worker crash under trace %s (attempt %d)",
+                entry.trace_id,
+                entry.attempts + 1,
+            )
             if self._pool is not None:
                 # the executor died with the worker; swap in a fresh one (a
                 # no-op when another consumer of the shared pool got there
@@ -442,9 +610,9 @@ class SimulationService:
             entry.attempts += 1
             if entry.attempts > self.max_retries:
                 entry.force_local = True
-                self._counters["failover_local"] += 1
+                self._counters["failover_local"].inc()
             else:
-                self._counters["retried"] += 1
+                self._counters["retried"].inc()
             if not self._queue.requeue(entry):
                 return False  # queue closed under us: fail the waiters
             self._inflight -= 1
@@ -491,7 +659,10 @@ class SimulationService:
                 record.error = f"exceeded the {record.timeout}s wall-clock budget"
                 record.finished_at = wall
                 record.state = JobState.TIMEOUT
-                self._counters["timeouts"] += 1
+                self._counters["timeouts"].inc()
+                logger.info(
+                    "job %s trace %s timed out", record.job_id, record.trace_id
+                )
             self._finished.notify_all()
 
     def cancel(self, job_id: str) -> bool:
@@ -516,7 +687,10 @@ class SimulationService:
                 self._release_queued_bytes(dropped)
             record.finished_at = time.time()
             record.state = JobState.CANCELLED
-            self._counters["cancelled"] += 1
+            self._counters["cancelled"].inc()
+            logger.info(
+                "job %s trace %s cancelled", record.job_id, record.trace_id
+            )
             self._finished.notify_all()
             return True
 
@@ -592,7 +766,7 @@ class SimulationService:
             for record in self._jobs.values():
                 by_state[record.state.value] = by_state.get(record.state.value, 0) + 1
             stats = {
-                **self._counters,
+                **{key: int(counter.value()) for key, counter in self._counters.items()},
                 "pending": self._queue.pending_count(),
                 "running": self._inflight,
                 "workers": self.workers,
@@ -610,7 +784,21 @@ class SimulationService:
                 stats["name"] = self.name
             if self.store is not None:
                 stats["store"] = self.store.stats()
+            stats["metrics"] = self.metrics_snapshot()
             return stats
+
+    def metrics_snapshot(self) -> dict:
+        """The full obs snapshot: service + store + worker-pool families.
+
+        JSON-able and shard-mergeable — :func:`repro.service.shard.
+        aggregate_stats` folds these documents bucket-wise across a cluster.
+        """
+        snapshots = [self.metrics.snapshot()]
+        if self.store is not None:
+            snapshots.append(self.store.metrics.snapshot())
+        if self._pool is not None:
+            snapshots.append(self._pool.metrics_snapshot())
+        return merge_metric_snapshots(snapshots)
 
     def drain(self, timeout: float | None = 60.0) -> None:
         """Block until every queued and running entry has completed."""

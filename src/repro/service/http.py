@@ -16,11 +16,15 @@ dependencies**.  Endpoints:
                           ``MAX_FOLLOW_WAIT``), then reports the current state
 ``DELETE /jobs/<id>``     cancel a still-queued job; ``409`` once it is
                           running or finished, ``404`` for unknown ids
+``GET /jobs/<id>/trace``  the job's span timeline (submit, store-lookup,
+                          queue-wait, execute, result-ship, fetch ...) with
+                          its distributed trace id
 ``GET /stats``            live service counters (submissions, executions,
                           coalescing, load shedding, crash recovery, store
                           occupancy, queue depth)
-``GET /metrics``          the same counters as scrape-friendly plaintext
-                          (``repro_*`` gauge lines plus derived rates)
+``GET /metrics``          Prometheus exposition: ``# HELP``/``# TYPE``'d
+                          counter and latency-histogram families, plus the
+                          legacy flat ``repro_*`` lines as aliases
 ``GET /healthz``          liveness probe
 ========================  ==================================================
 
@@ -34,9 +38,14 @@ from __future__ import annotations
 import json
 import threading
 import urllib.parse
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from time import perf_counter, time as wall_time
+
 from repro.errors import ReproError, ServiceOverloadedError, SimulationError
+from repro.obs.exposition import render_families
+from repro.obs.trace import TRACE_HEADER
 from repro.service.core import SimulationService
 from repro.service.specs import parse_job_document
 
@@ -56,15 +65,30 @@ DEFAULT_FOLLOW_WAIT = 25.0
 
 
 def render_metrics(stats: dict) -> str:
-    """Render ``/stats`` counters as scrape-friendly ``name value`` lines.
+    """Render ``/stats`` counters in the Prometheus exposition format.
 
-    Flat ``repro_*`` gauges, one per line — the exposition subset that both
-    Prometheus-style scrapers and ``awk`` agree on.  Derived rates
-    (``store_hit_rate``, ``coalesce_rate``) are precomputed so a dashboard
-    needs no query-side arithmetic.
+    Two sections, both deterministic:
+
+    * the obs metric families (``stats["metrics"]``, when present) with
+      ``# HELP`` / ``# TYPE`` headers, sorted by family name — counters,
+      gauges and cumulative-bucket latency histograms;
+    * the flat legacy ``repro_*`` lines the endpoint has always served.
+      The counter names among them are **deprecated aliases** of the
+      ``repro_service_*`` families above, retained for one release so
+      existing scrape configs keep working; derived rates
+      (``store_hit_rate``, ``coalesce_rate``) stay precomputed so a
+      dashboard needs no query-side arithmetic.
     """
     submitted = stats.get("submitted", 0)
-    lines = [
+    lines: list[str] = []
+    families = stats.get("metrics")
+    if isinstance(families, dict):
+        lines.extend(render_families(families))
+    lines.append(
+        "# legacy flat lines; counter names below are deprecated aliases of"
+        " the repro_service_* families (retained for one release)"
+    )
+    lines += [
         f"repro_submitted_total {submitted}",
         f"repro_executed_total {stats.get('executed', 0)}",
         f"repro_coalesced_total {stats.get('coalesced', 0)}",
@@ -148,6 +172,10 @@ class _Handler(_JSONHandler):
 
     # -- routes ---------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        with self.server.time_request("GET"):
+            self._handle_get()
+
+    def _handle_get(self) -> None:
         service = self.server.service
         raw_path, _, query = self.path.partition("?")
         path = raw_path.rstrip("/") or "/"
@@ -159,6 +187,9 @@ class _Handler(_JSONHandler):
             self._send_text(200, render_metrics(service.stats()))
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
+            if job_id.endswith("/trace"):
+                self._handle_trace(job_id[: -len("/trace")])
+                return
             params = urllib.parse.parse_qs(query)
             record = service.job(job_id)
             if record is not None and params.get("follow", ["0"])[-1] in ("1", "true", "yes"):
@@ -171,11 +202,46 @@ class _Handler(_JSONHandler):
             if record is None:
                 self._error(404, f"unknown job id {job_id!r}")
             else:
-                self._send_json(200, record.describe(include_payload=True))
+                fetch_started = perf_counter()
+                body = record.describe(include_payload=True)
+                # span recorded before the send, so a client that downloads
+                # the payload and immediately asks for the trace sees it
+                if record.finished and record.payload is not None:
+                    service.trace.add_span(
+                        record.job_id,
+                        "fetch",
+                        trace_id=record.trace_id,
+                        start=wall_time(),
+                        duration=perf_counter() - fetch_started,
+                        payload_bytes=len(record.payload),
+                    )
+                self._send_json(200, body)
         else:
             self._error(404, f"unknown path {path!r}")
 
+    def _handle_trace(self, job_id: str) -> None:
+        """``GET /jobs/<id>/trace``: the job's ordered span timeline."""
+        service = self.server.service
+        record = service.job(job_id)
+        spans = service.trace.spans(job_id)
+        if record is None and spans is None:
+            self._error(404, f"unknown job id {job_id!r}")
+            return
+        self._send_json(
+            200,
+            {
+                "job_id": job_id,
+                "trace_id": record.trace_id if record is not None else None,
+                "state": record.state.value if record is not None else None,
+                "spans": spans or [],
+            },
+        )
+
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        with self.server.time_request("DELETE"):
+            self._handle_delete()
+
+    def _handle_delete(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
         if not path.startswith("/jobs/"):
             self._error(404, f"unknown path {self.path!r}")
@@ -200,6 +266,10 @@ class _Handler(_JSONHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        with self.server.time_request("POST"):
+            self._handle_post()
+
+    def _handle_post(self) -> None:
         if self.path.split("?", 1)[0].rstrip("/") != "/jobs":
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -214,7 +284,11 @@ class _Handler(_JSONHandler):
         try:
             request, priority, timeout = parse_job_document(document)
             job = self.server.service.submit(
-                request, priority=priority, tag=request.tag, timeout=timeout
+                request,
+                priority=priority,
+                tag=request.tag,
+                timeout=timeout,
+                trace_id=self.headers.get(TRACE_HEADER),
             )
         except ServiceOverloadedError as error:
             # load shed: tell the client when to come back.  Retry-After is
@@ -241,6 +315,7 @@ class _Handler(_JSONHandler):
                 "state": job.state.value,
                 "served_from": job.served_from,
                 "priority": job.priority,
+                "trace_id": job.trace_id,
             },
         )
 
@@ -270,6 +345,22 @@ class ServiceServer(ThreadingHTTPServer):
         self.service = service
         self.verbose = verbose
         self._thread: threading.Thread | None = None
+        self._request_seconds = service.metrics.histogram(
+            "repro_http_request_seconds",
+            "End-to-end HTTP request handling time (seconds)",
+            labelnames=("method",),
+        )
+
+    @contextmanager
+    def time_request(self, method: str):
+        """Observe one request's wall time into the service's histogram."""
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self._request_seconds.observe(
+                perf_counter() - started, labels={"method": method}
+            )
 
     @property
     def url(self) -> str:

@@ -59,6 +59,8 @@ class JobRecord:
     #: the absolute :func:`time.monotonic` instant derived from it at submit.
     timeout: float | None = None
     deadline: float | None = None
+    #: Distributed-tracing id (client-minted or assigned at submit).
+    trace_id: str | None = None
 
     @property
     def finished(self) -> bool:
@@ -96,6 +98,7 @@ class JobRecord:
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
             "timeout": self.timeout,
+            "trace_id": self.trace_id,
         }
         if include_payload and self.payload is not None:
             import base64

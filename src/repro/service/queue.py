@@ -45,6 +45,12 @@ class QueueEntry:
     charged: bool = False
     attempts: int = 0
     force_local: bool = False
+    #: Trace id of the first submitter (followers keep their own ids on
+    #: their job records); ``enqueued_at``/``dispatched_at`` are monotonic
+    #: instants feeding the queue-wait and execute latency histograms.
+    trace_id: str | None = None
+    enqueued_at: float = 0.0
+    dispatched_at: float = 0.0
 
     @property
     def heap_token(self) -> tuple[int, int]:

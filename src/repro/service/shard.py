@@ -46,6 +46,8 @@ from collections.abc import Sequence
 from http.server import ThreadingHTTPServer
 
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.metrics import merge_metric_snapshots
+from repro.obs.trace import TRACE_HEADER
 from repro.service.http import _JSONHandler, render_metrics
 from repro.service.specs import parse_job_document
 from repro.service.store import key_digest
@@ -202,6 +204,14 @@ def aggregate_stats(per_shard: Sequence[dict]) -> dict:
             {str(store.get("directory")) for store in stores if store.get("directory")}
         )
         aggregate["store"] = merged
+    metric_docs = [
+        stats["metrics"] for stats in per_shard if isinstance(stats.get("metrics"), dict)
+    ]
+    if metric_docs:
+        # counters/gauges sum; histograms merge **bucket-wise**, so
+        # cluster-wide quantiles computed from the merged families are the
+        # exact quantiles of the union of per-shard observations
+        aggregate["metrics"] = merge_metric_snapshots(metric_docs)
     return aggregate
 
 
@@ -216,17 +226,19 @@ def _forward(
     data: bytes | None = None,
     method: str | None = None,
     timeout: float = FORWARD_TIMEOUT,
+    headers: dict | None = None,
 ) -> tuple[int, bytes]:
     """One HTTP round trip to a shard: ``(status, body)``.
 
     An HTTP error *is* an answer (the shard spoke; relay it); only
     connection-level failures raise :class:`_ShardDown` so the caller can
-    fail over.
+    fail over.  ``headers`` are merged over the JSON content type (the
+    router uses this to pass ``X-Repro-Trace`` through unchanged).
     """
     request = urllib.request.Request(
         url + path,
         data=data,
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
         method=method or ("GET" if data is None else "POST"),
     )
     try:
@@ -300,10 +312,12 @@ class _RouterHandler(_JSONHandler):
         except Exception as error:  # pragma: no cover - defensive
             self._error(400, f"{type(error).__name__}: {error}")
             return
+        trace_id = self.headers.get(TRACE_HEADER)
+        forward_headers = {TRACE_HEADER: trace_id} if trace_id else None
         down: list[str] = []
         for rank, shard in enumerate(self.server.router.preference_for_digest(digest)):
             try:
-                status, body = _forward(shard, "/jobs", data=raw)
+                status, body = _forward(shard, "/jobs", data=raw, headers=forward_headers)
             except _ShardDown as error:
                 down.append(str(error))
                 continue

@@ -61,6 +61,7 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 from repro.core.results import SimulationResult
 from repro.errors import ConfigurationError
 from repro.faults import inject_store_corrupt
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ResultStore", "code_fingerprint", "key_digest"]
 
@@ -144,10 +145,29 @@ class ResultStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
         self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.quarantined = 0
+        #: Per-store obs metrics; the int-valued counter surface below
+        #: (``store.hits`` etc.) is preserved as properties over these.
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter(
+            "repro_store_lookup_hits_total", "Store lookups answered from disk"
+        )
+        self._misses = self.metrics.counter(
+            "repro_store_lookup_misses_total",
+            "Store lookups that missed (absent, stale or corrupt)",
+        )
+        self._evictions = self.metrics.counter(
+            "repro_store_evicted_entries_total", "Entries evicted by the LRU bound"
+        )
+        self._quarantined = self.metrics.counter(
+            "repro_store_quarantined_entries_total",
+            "Corrupt entries moved to quarantine",
+        )
+        self._get_seconds = self.metrics.histogram(
+            "repro_store_get_seconds", "Store lookup latency (seconds)"
+        )
+        self._put_seconds = self.metrics.histogram(
+            "repro_store_put_seconds", "Store write latency (seconds)"
+        )
         self._lock = threading.RLock()
         #: digest -> (size_bytes, recency); recency is on the file-mtime
         #: timescale (seconds), strictly increasing for in-process touches, so
@@ -169,14 +189,22 @@ class ResultStore:
         entries = []
         stale_before = time.time() - STALE_TMP_SECONDS
         for item in os.scandir(self.directory):
-            if not item.is_file():
+            # a sibling process may rename (tmp -> entry) or evict any file
+            # between the directory read and the stat, so vanished files are
+            # simply skipped rather than crashing the scan
+            try:
+                if not item.is_file():
+                    continue
+                if item.name.endswith(ENTRY_SUFFIX):
+                    stat = item.stat()
+                    entries.append(
+                        (item.name[: -len(ENTRY_SUFFIX)], stat.st_size, stat.st_mtime)
+                    )
+                elif item.name.endswith(TMP_SUFFIX) and item.stat().st_mtime < stale_before:
+                    with contextlib.suppress(OSError):
+                        os.unlink(item.path)
+            except FileNotFoundError:
                 continue
-            if item.name.endswith(ENTRY_SUFFIX):
-                stat = item.stat()
-                entries.append((item.name[: -len(ENTRY_SUFFIX)], stat.st_size, stat.st_mtime))
-            elif item.name.endswith(TMP_SUFFIX) and item.stat().st_mtime < stale_before:
-                with contextlib.suppress(OSError):
-                    os.unlink(item.path)
         rebuilt: dict[str, tuple[int, float]] = {}
         for digest, size, mtime in entries:
             previous = self._index.get(digest)
@@ -220,7 +248,7 @@ class ResultStore:
         except OSError:
             pass
         if evicted:
-            self.evictions += 1
+            self._evictions.inc()
 
     def _quarantine(self, digest: str) -> None:
         """Move a corrupt entry aside so it can never be re-parsed.
@@ -237,7 +265,7 @@ class ResultStore:
         except OSError:  # raced away (or unrenamable): fall back to deletion
             with contextlib.suppress(OSError):
                 path.unlink()
-        self.quarantined += 1
+        self._quarantined.inc()
         self._prune_quarantine()
 
     def _quarantine_usage(self) -> tuple[int, int]:
@@ -335,39 +363,43 @@ class ResultStore:
         coalesced request.
         """
         digest = key_digest(key)
-        with self._lock:
-            path = self._path(digest)
-            inject_store_corrupt(path)
-            try:
-                raw = path.read_bytes()
-            except FileNotFoundError:
-                self._index.pop(digest, None)
-                self.misses += 1
-                return None
-            try:
-                envelope = pickle.loads(raw)
-                stale = (
-                    envelope["fingerprint"] != self.fingerprint
-                    or envelope["key"] != key
-                    or not isinstance(envelope["payload"], bytes)
-                )
-                payload = None if stale else envelope["payload"]
-            except Exception:
-                # Corrupt or truncated entry: quarantine the bytes on first
-                # detection — it must neither keep failing on every probe
-                # nor be silently destroyed (the file is evidence).
-                self._quarantine(digest)
-                self.misses += 1
-                return None
-            if payload is None:
-                # Parseable but wrong-version or colliding entry: stale, not
-                # corrupt — delete it outright and degrade to a miss.
-                self._discard(digest)
-                self.misses += 1
-                return None
-            self._touch(digest, len(raw))
-            self.hits += 1
-            return payload
+        started = time.perf_counter()
+        try:
+            with self._lock:
+                path = self._path(digest)
+                inject_store_corrupt(path)
+                try:
+                    raw = path.read_bytes()
+                except FileNotFoundError:
+                    self._index.pop(digest, None)
+                    self._misses.inc()
+                    return None
+                try:
+                    envelope = pickle.loads(raw)
+                    stale = (
+                        envelope["fingerprint"] != self.fingerprint
+                        or envelope["key"] != key
+                        or not isinstance(envelope["payload"], bytes)
+                    )
+                    payload = None if stale else envelope["payload"]
+                except Exception:
+                    # Corrupt or truncated entry: quarantine the bytes on first
+                    # detection — it must neither keep failing on every probe
+                    # nor be silently destroyed (the file is evidence).
+                    self._quarantine(digest)
+                    self._misses.inc()
+                    return None
+                if payload is None:
+                    # Parseable but wrong-version or colliding entry: stale, not
+                    # corrupt — delete it outright and degrade to a miss.
+                    self._discard(digest)
+                    self._misses.inc()
+                    return None
+                self._touch(digest, len(raw))
+                self._hits.inc()
+                return payload
+        finally:
+            self._get_seconds.observe(time.perf_counter() - started)
 
     def get(self, key: tuple) -> SimulationResult | None:
         """A fresh copy of the stored result, or ``None`` on a miss."""
@@ -379,6 +411,7 @@ class ResultStore:
     def put_bytes(self, key: tuple, payload: bytes) -> None:
         """Store one already-pickled result under ``key`` (atomic write)."""
         digest = key_digest(key)
+        started = time.perf_counter()
         envelope = pickle.dumps(
             {"fingerprint": self.fingerprint, "key": key, "payload": payload},
             protocol=pickle.HIGHEST_PROTOCOL,
@@ -402,6 +435,7 @@ class ResultStore:
                 with self._dir_lock():
                     self._scan()
                     self._evict_to_bound(protect=digest)
+        self._put_seconds.observe(time.perf_counter() - started)
 
     def put(self, key: tuple, result: SimulationResult) -> None:
         """Pickle and store one simulation result under ``key``."""
@@ -418,10 +452,25 @@ class ResultStore:
         with self._lock:
             for digest in list(self._index):
                 self._discard(digest)
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
-            self.quarantined = 0
+            for counter in (self._hits, self._misses, self._evictions, self._quarantined):
+                counter.reset()
+
+    # -- int-valued views over the obs counters ------------------------- #
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value())
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value())
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value())
+
+    @property
+    def quarantined(self) -> int:
+        return int(self._quarantined.value())
 
     def stats(self) -> dict:
         """Counters and occupancy, as reported by the service ``/stats``."""

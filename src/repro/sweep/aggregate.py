@@ -38,15 +38,43 @@ _RESULT_PROPERTIES = (
 
 
 def metric_value(result: SimulationResult, metric: str) -> float:
-    """Resolve one metric of a simulation result by name."""
+    """Resolve one metric of a simulation result by name.
+
+    ``profile.<phase>`` names (``profile.decode``, ``profile.dispatch``, ...,
+    or ``profile.loop_seconds``) resolve against the result's optional
+    :attr:`~repro.core.results.SimulationResult.phase_profile` — present only
+    when the run executed with engine profiling enabled (``REPRO_PROFILE=1``).
+    """
     if metric in _RESULT_PROPERTIES:
         return float(getattr(result, metric))
+    if metric.startswith("profile."):
+        return _profile_metric(result, metric[len("profile."):])
     counters = result.counters()
     if metric in counters:
         return float(counters[metric])
     raise SweepError(
         f"unknown metric {metric!r}; headline metrics: {', '.join(_RESULT_PROPERTIES)}; "
-        f"counters: {', '.join(sorted(counters))}"
+        f"counters: {', '.join(sorted(counters))}; "
+        f"profile.<phase> needs REPRO_PROFILE=1"
+    )
+
+
+def _profile_metric(result: SimulationResult, name: str) -> float:
+    """Seconds spent in one engine phase of a profiled result."""
+    profile = getattr(result, "phase_profile", None)
+    if not profile:
+        raise SweepError(
+            f"metric 'profile.{name}' needs a profiled result "
+            "(run with REPRO_PROFILE=1 or Machine.run(profile=True))"
+        )
+    if name == "loop_seconds":
+        return float(profile.get("loop_seconds", 0.0))
+    phases = profile.get("phases", {})
+    if name in phases:
+        return float(phases[name].get("seconds", 0.0))
+    raise SweepError(
+        f"unknown profile phase {name!r}; available: "
+        f"{', '.join(sorted(phases))}, loop_seconds"
     )
 
 

@@ -37,9 +37,22 @@ from repro.api.batch import (
 from repro.api.pool import get_shared_pool, usable_cpus
 from repro.core.results import SimulationResult
 from repro.errors import SweepError
+from repro.obs.metrics import MetricsRegistry
 from repro.sweep.compile import CompiledSweep, SweepPoint
 
-__all__ = ["PointOutcome", "SweepRun", "execute_sweep"]
+__all__ = ["PointOutcome", "SWEEP_METRICS", "SweepRun", "execute_sweep"]
+
+#: Process-wide sweep telemetry, scrapeable alongside the service families.
+SWEEP_METRICS = MetricsRegistry()
+_POINTS_TOTAL = SWEEP_METRICS.counter(
+    "repro_sweep_points_total",
+    "Sweep points settled, by how each was served",
+    labelnames=("served_from",),
+)
+_POINT_SECONDS = SWEEP_METRICS.histogram(
+    "repro_sweep_point_seconds",
+    "Wall-clock seconds from dispatch to settle per sweep point",
+)
 
 #: ``progress(outcome, completed, total)`` fired as each point settles.
 ProgressCallback = Callable[["PointOutcome", int, int], None]
@@ -55,6 +68,9 @@ class PointOutcome:
     payload: bytes | None = None
     error: str | None = None
     elapsed: float = 0.0
+    #: Service-path span timeline (``GET /jobs/<id>/trace``); ``None`` for
+    #: local points.  Feeds the SUMMARY.md stage breakdown — never the ledger.
+    trace: dict | None = None
 
     @property
     def failed(self) -> bool:
@@ -315,6 +331,11 @@ def _execute_via_service(
                 )
                 failed.append(point)
             else:
+                try:
+                    # best-effort: a pre-tracing server 404s the endpoint
+                    trace = client.trace(handle.job_id)
+                except Exception:
+                    trace = None
                 emit(
                     PointOutcome(
                         point=point,
@@ -322,6 +343,7 @@ def _execute_via_service(
                         served_from=handle.served_from,
                         payload=payload,
                         elapsed=time.perf_counter() - started,
+                        trace=trace,
                     )
                 )
         return failed
@@ -384,6 +406,9 @@ def execute_sweep(
 
     def emit(outcome: PointOutcome) -> None:
         by_id[outcome.point.point_id] = outcome
+        served = "failed" if outcome.failed else outcome.served_from
+        _POINTS_TOTAL.inc(labels={"served_from": served})
+        _POINT_SECONDS.observe(outcome.elapsed)
         if progress is not None:
             progress(outcome, len(by_id), total)
 

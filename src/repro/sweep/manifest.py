@@ -120,6 +120,10 @@ def render_summary(run: SweepRun, rows: list[AggregateRow]) -> str:
             lines.append("| " + " | ".join(str(cell) for cell in cells) + " |")
         lines.append("")
 
+    stage_lines = _stage_breakdown(run)
+    if stage_lines:
+        lines += stage_lines
+
     failures = run.failures()
     if failures:
         lines += ["## Failures", ""]
@@ -127,6 +131,46 @@ def render_summary(run: SweepRun, rows: list[AggregateRow]) -> str:
             lines.append(f"- `{outcome.point.label}`: {outcome.error}")
         lines.append("")
     return "\n".join(lines)
+
+
+def _stage_breakdown(run: SweepRun) -> list[str]:
+    """Per-stage time table from service-path span timelines (SUMMARY.md only).
+
+    Aggregates the ``duration_ms`` of every recorded span name across the
+    points that carry a trace.  Lives strictly outside the ledger/manifest so
+    ``sweep.json`` and ``ledger.sha256`` stay timestamp-free and warm-rerun
+    byte-identical.
+    """
+    totals: dict[str, list[float]] = {}
+    traced_points = 0
+    for outcome in run.outcomes:
+        spans = (outcome.trace or {}).get("spans") or []
+        if spans:
+            traced_points += 1
+        for span in spans:
+            name = span.get("span")
+            duration = span.get("duration_ms")
+            if isinstance(name, str) and isinstance(duration, (int, float)):
+                totals.setdefault(name, []).append(float(duration))
+    if not totals:
+        return []
+    lines = [
+        "## Stage breakdown",
+        "",
+        f"Span timings from `GET /jobs/<id>/trace` across {traced_points} "
+        "service-served point(s).",
+        "",
+        "| stage | spans | total ms | mean ms | max ms |",
+        "|---|---|---|---|---|",
+    ]
+    for name in sorted(totals):
+        values = totals[name]
+        lines.append(
+            f"| {name} | {len(values)} | {sum(values):.3f} "
+            f"| {sum(values) / len(values):.3f} | {max(values):.3f} |"
+        )
+    lines.append("")
+    return lines
 
 
 def write_manifest(run: SweepRun, rows: list[AggregateRow], out_dir: str | Path) -> dict:

@@ -58,7 +58,7 @@ class TestSimulationResult:
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
 
     def test_top_level_exports(self):
         for name in (

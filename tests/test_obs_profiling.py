@@ -1,0 +1,155 @@
+"""Tests for opt-in engine phase profiling (`repro.obs.profiling`): the
+gate, the per-phase accounting, and the off-path's byte-identical stats."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import Machine
+from repro.obs import (
+    PROFILE_ENV_VAR,
+    PROFILE_PHASES,
+    PhaseProfile,
+    force_profiling,
+    profiling_enabled,
+)
+from repro.workloads import build_benchmark
+
+SCALE = 0.05
+
+
+def _workload():
+    return build_benchmark("tomcatv", scale=SCALE)
+
+
+class TestGate:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV_VAR, raising=False)
+        assert profiling_enabled() is False
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("yes", True), ("0", False), ("", False),
+    ])
+    def test_env_var_truthiness(self, monkeypatch, value, expected):
+        monkeypatch.setenv(PROFILE_ENV_VAR, value)
+        assert profiling_enabled() is expected
+
+    def test_force_overrides_env_both_ways(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "0")
+        with force_profiling(True):
+            assert profiling_enabled() is True
+        monkeypatch.setenv(PROFILE_ENV_VAR, "1")
+        with force_profiling(False):
+            assert profiling_enabled() is False
+        assert profiling_enabled() is True
+
+
+class TestPhaseProfile:
+    def test_wrap_accounts_calls_and_seconds(self):
+        profile = PhaseProfile()
+        wrapped = profile.wrap("dispatch", lambda x: x + 1)
+        assert wrapped(1) == 2
+        assert wrapped(2) == 3
+        assert profile.calls["dispatch"] == 2
+        assert profile.seconds["dispatch"] >= 0.0
+
+    def test_as_dict_derives_decode_residual(self):
+        profile = PhaseProfile()
+        profile.loop_seconds = 1.0
+        profile.add("hazard_check", 0.25, calls=10)
+        profile.add("dispatch", 0.35, calls=10)
+        doc = profile.as_dict()
+        assert doc["phases"]["decode"]["seconds"] == pytest.approx(0.4)
+        assert doc["nested"] == {"memory": "dispatch"}
+
+    def test_residual_clamped_at_zero(self):
+        profile = PhaseProfile()
+        profile.loop_seconds = 0.1
+        profile.add("dispatch", 0.5)
+        assert profile.as_dict()["phases"]["decode"]["seconds"] == 0.0
+
+
+class TestEngineProfiling:
+    def test_off_run_has_no_profile(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV_VAR, raising=False)
+        result = Machine.named("reference").run(_workload())
+        assert result.phase_profile is None
+
+    def test_profiled_run_reports_every_phase(self):
+        result = Machine.named("reference").run(_workload(), profile=True)
+        profile = result.phase_profile
+        assert profile is not None
+        assert set(profile["phases"]) == set(PROFILE_PHASES)
+        assert profile["loop_seconds"] > 0.0
+        assert profile["phases"]["hazard_check"]["calls"] > 0
+        assert profile["phases"]["dispatch"]["calls"] > 0
+        assert profile["phases"]["finalize"]["calls"] == 1
+
+    def test_env_var_profiles_plain_run(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "1")
+        result = Machine.named("reference").run(_workload())
+        assert result.phase_profile is not None
+
+    def test_profiling_leaves_stats_byte_identical(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV_VAR, raising=False)
+        plain = Machine.named("reference").run(_workload())
+        profiled = Machine.named("reference").run(_workload(), profile=True)
+        rerun = Machine.named("reference").run(_workload())
+        assert pickle.dumps(plain.stats) == pickle.dumps(profiled.stats)
+        assert pickle.dumps(plain.stats) == pickle.dumps(rerun.stats)
+        assert plain.cycles == profiled.cycles
+
+    def test_multithreaded_machine_profiles_too(self):
+        result = Machine.named("multithreaded-2").run(_workload(), profile=True)
+        assert result.phase_profile is not None
+        assert set(result.phase_profile["phases"]) == set(PROFILE_PHASES)
+
+    def test_wrappers_removed_after_profiled_run(self):
+        machine = Machine.named("reference")
+        machine.run(_workload(), profile=True)
+        simulator = machine._backend._simulator
+        engine = getattr(simulator, "_engine", None) or getattr(
+            simulator, "engine", None
+        )
+        # the loop wrappers are instance attributes installed per profiled
+        # run; none may survive into the next (unprofiled) run
+        if engine is not None:
+            assert "earliest_issue" not in vars(engine.dispatch_model)
+            assert "execute" not in vars(engine.dispatch_model)
+        unprofiled = machine.run(_workload())
+        assert unprofiled.phase_profile is None
+
+    def test_profile_bypasses_cache_both_ways(self):
+        from repro.api.cache import RunCache
+
+        machine = Machine.named("reference", cache=RunCache())
+        warm = machine.run(_workload())  # fills the cache
+        profiled = machine.run(_workload(), profile=True)
+        assert profiled.phase_profile is not None
+        cached = machine.run(_workload())
+        assert cached.phase_profile is None
+        assert warm.cycles == profiled.cycles == cached.cycles
+
+
+class TestSweepProfileMetrics:
+    def test_profile_metric_resolves_on_profiled_result(self):
+        from repro.sweep.aggregate import metric_value
+
+        result = Machine.named("reference").run(_workload(), profile=True)
+        total = sum(
+            metric_value(result, f"profile.{phase}") for phase in PROFILE_PHASES
+        )
+        assert total >= 0.0
+        assert metric_value(result, "profile.loop_seconds") >= 0.0
+
+    def test_profile_metric_raises_without_profile(self):
+        from repro.errors import SweepError
+        from repro.sweep.aggregate import metric_value
+
+        result = Machine.named("reference").run(_workload())
+        with pytest.raises(SweepError):
+            metric_value(result, "profile.decode")
+        with pytest.raises(SweepError):
+            metric_value(result, "profile.no_such_phase")

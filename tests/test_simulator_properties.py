@@ -61,7 +61,11 @@ class TestSimulationInvariants:
         program = build_workload(spec)
         result = ReferenceSimulator(MachineConfig.reference(latency)).run(program)
         bound = IdealMachineModel().bound_for_programs([program])
-        assert result.cycles >= bound
+        # ``cycles`` stops at the last decode slot; a trailing vector store
+        # still drains on the address bus afterwards, so the resource bounds
+        # apply to the drain-inclusive completion time.
+        assert result.completion_cycles >= bound
+        assert result.completion_cycles >= result.cycles
 
     @settings(max_examples=8, deadline=None)
     @given(spec=workload_strategy)
